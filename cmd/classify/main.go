@@ -1,0 +1,32 @@
+// Command classify regenerates the paper's Table 4/5 benchmark
+// characterisation: each benchmark model runs alone on the simulated
+// machine while footprint samplers (one covering all LLC sets, one sampling
+// 40) and the L2-MPKI counters measure it; the Table 5 rule then classifies
+// it, printed next to the paper's class column.
+//
+// Usage: classify [-scale N] [-measure N] [-seed N]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 8, "cache scale divisor (1 = the paper's 16MB LLC)")
+		measure = flag.Uint64("measure", 1_000_000, "base measured instructions per benchmark")
+		seed    = flag.Uint64("seed", 42, "seed")
+		par     = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	opt := experiments.Options{
+		Scale:        *scale,
+		MeasureInstr: *measure,
+		Seed:         *seed,
+		Parallelism:  *par,
+	}
+	experiments.Table4Table(experiments.Table4(opt)).Fprint(os.Stdout)
+}

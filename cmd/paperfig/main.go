@@ -1,0 +1,134 @@
+// Command paperfig regenerates the tables and figures of Sridharan &
+// Seznec's ADAPT paper (RR-8816 / IPPS 2016) on the simulator in this
+// repository.
+//
+// Usage:
+//
+//	paperfig -fig 1|3|4|5|6|7|8        regenerate one figure
+//	paperfig -table 2|4|7              regenerate one table
+//	paperfig -ablation interval|sets|ranges
+//	paperfig -all                      everything (long)
+//
+// Fidelity flags:
+//
+//	-full            paper-scale geometry and instruction budgets (slow)
+//	-scale N         cache scale divisor           (default 8)
+//	-workloads N     mixes per study, 0 = paper    (default 20)
+//	-measure N       instructions/app measured     (default 600000)
+//	-warmup N        instructions/app warmed up    (default 150000)
+//	-seed N          experiment seed               (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure number to regenerate (1,3,4,5,6,7,8)")
+		table     = flag.Int("table", 0, "table number to regenerate (2,4,7)")
+		ablation  = flag.String("ablation", "", "ablation sweep: interval|sets|ranges")
+		all       = flag.Bool("all", false, "regenerate everything")
+		full      = flag.Bool("full", false, "paper-scale fidelity (slow)")
+		scale     = flag.Int("scale", 8, "cache scale divisor")
+		workloads = flag.Int("workloads", 20, "mixes per study (0 = paper counts)")
+		measure   = flag.Uint64("measure", 600_000, "measured instructions per app")
+		warmup    = flag.Uint64("warmup", 150_000, "warm-up instructions per app")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		par       = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:        *scale,
+		MaxWorkloads: *workloads,
+		WarmupInstr:  *warmup,
+		MeasureInstr: *measure,
+		Seed:         *seed,
+		Parallelism:  *par,
+	}
+	if *full {
+		opt = experiments.Paper()
+		opt.Parallelism = *par
+	}
+
+	ran := false
+	start := time.Now()
+	defer func() {
+		if ran {
+			fmt.Fprintf(os.Stderr, "elapsed: %s\n", time.Since(start).Round(time.Second))
+		}
+	}()
+
+	if *all || *table == 2 {
+		ran = true
+		experiments.Table2Table().Fprint(os.Stdout)
+	}
+	if *all || *table == 4 {
+		ran = true
+		experiments.Table4Table(experiments.Table4(opt)).Fprint(os.Stdout)
+	}
+	if *all || *fig == 1 {
+		ran = true
+		r := experiments.Fig1(opt)
+		r.TableA().Fprint(os.Stdout)
+		r.TableB().Fprint(os.Stdout)
+		r.TableC().Fprint(os.Stdout)
+	}
+	if *all || *fig == 3 || *fig == 4 || *fig == 5 {
+		ran = true
+		r := experiments.Fig3(opt)
+		if *all || *fig == 3 {
+			r.Table("Figure 3 — 16-core workloads").Fprint(os.Stdout)
+		}
+		if *all || *fig == 4 || *fig == 5 {
+			f4, f5 := r.Fig45Tables()
+			if *all || *fig == 4 {
+				f4.Fprint(os.Stdout)
+			}
+			if *all || *fig == 5 {
+				f5.Fprint(os.Stdout)
+			}
+		}
+	}
+	if *all || *fig == 6 {
+		ran = true
+		experiments.Fig6(opt).Table().Fprint(os.Stdout)
+	}
+	if *all || *fig == 7 {
+		ran = true
+		experiments.Fig7(opt).Table().Fprint(os.Stdout)
+	}
+	if *all || *fig == 8 {
+		ran = true
+		for _, t := range experiments.Fig8(opt).Tables() {
+			t.Fprint(os.Stdout)
+		}
+	}
+	if *all || *table == 7 {
+		ran = true
+		experiments.Table7(opt).Table().Fprint(os.Stdout)
+	}
+	if *all || *ablation == "interval" {
+		ran = true
+		experiments.AblationInterval(opt).Table().Fprint(os.Stdout)
+	}
+	if *all || *ablation == "sets" {
+		ran = true
+		experiments.AblationSets(opt).Table().Fprint(os.Stdout)
+	}
+	if *all || *ablation == "ranges" {
+		ran = true
+		experiments.AblationRanges(opt).Table().Fprint(os.Stdout)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Policy comparison: the Figure 3 story on a single workload — run the same
+// 16-application mix under every LLC policy of the paper and rank them by
+// weighted speed-up, printing per-policy LLC miss totals as well.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	adapt "repro"
+)
+
+func main() {
+	study := adapt.Studies()[2] // the 16-core study
+	mix := adapt.MixesFor(study, 42)[0]
+	fmt.Println("workload:", mix.Names)
+
+	const warmup, measure = 200_000, 800_000
+
+	// Solo baselines for the weighted-speed-up denominator.
+	alone := map[string]float64{}
+	for _, n := range mix.Names {
+		if _, done := alone[n]; done {
+			continue
+		}
+		solo, err := adapt.RunSolo(adapt.QuickConfig(1), n, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alone[n] = solo.IPC
+	}
+
+	type outcome struct {
+		policy string
+		ws     float64
+		misses uint64
+	}
+	policies := []string{"lru", "srrip", "drrip", "tadrrip", "ship", "eaf", "adapt-ins", "adapt"}
+	var results []outcome
+	for _, p := range policies {
+		cfg := adapt.QuickConfig(study.Cores)
+		cfg.LLCPolicy = p
+		res, err := adapt.RunMix(cfg, mix.Names, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := outcome{policy: p}
+		for i, n := range mix.Names {
+			o.ws += res.Apps[i].IPC / alone[n]
+			o.misses += res.Apps[i].LLCDemandMisses
+		}
+		results = append(results, o)
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].ws > results[j].ws })
+	fmt.Printf("\n%-10s %14s %14s\n", "policy", "weighted SU", "LLC misses")
+	for _, o := range results {
+		fmt.Printf("%-10s %14.3f %14d\n", o.policy, o.ws, o.misses)
+	}
+	fmt.Println("\n(adapt = ADAPT_bp32, the paper's best variant)")
+}

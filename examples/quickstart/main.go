@@ -1,0 +1,53 @@
+// Quickstart: build the paper's 16-core machine (scaled 8x for speed), run
+// one multi-programmed workload under the baseline TA-DRRIP and under
+// ADAPT, and compare weighted speed-ups — the smallest end-to-end use of
+// the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adapt "repro"
+)
+
+func main() {
+	// A 16-application mix: two thrashers (libq, lbm), heavy M-class apps
+	// and cache-friendly ones — the regime the paper targets, where the
+	// LLC's 16 ways are shared by 16 applications.
+	names := []string{
+		"libq", "lbm", "mcf", "art", "bzip", "lesl", "omn", "sopl",
+		"calc", "eon", "gcc", "mesa", "sphnx", "black", "vort", "fsim",
+	}
+
+	const warmup, measure = 200_000, 800_000
+
+	run := func(policy string) adapt.Result {
+		cfg := adapt.QuickConfig(len(names))
+		cfg.LLCPolicy = policy
+		res, err := adapt.RunMix(cfg, names, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run("tadrrip")
+	ours := run("adapt")
+
+	// Weighted speed-up needs each application's solo IPC.
+	fmt.Println("app      tadrrip-IPC  adapt-IPC")
+	var wsBase, wsAdapt float64
+	for i, n := range names {
+		cfg := adapt.QuickConfig(1)
+		solo, err := adapt.RunSolo(cfg, n, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wsBase += base.Apps[i].IPC / solo.IPC
+		wsAdapt += ours.Apps[i].IPC / solo.IPC
+		fmt.Printf("%-8s %10.3f %10.3f\n", n, base.Apps[i].IPC, ours.Apps[i].IPC)
+	}
+	fmt.Printf("\nweighted speed-up: TA-DRRIP %.3f, ADAPT %.3f (%.1f%% gain)\n",
+		wsBase, wsAdapt, 100*(wsAdapt/wsBase-1))
+}

@@ -1,0 +1,89 @@
+package arbiter
+
+import "testing"
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default(16).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	bad := []Config{
+		{Banks: 3, Cores: 4, ServiceCycles: 4},
+		{Banks: 4, Cores: 0, ServiceCycles: 4},
+		{Banks: 4, Cores: 4, ServiceCycles: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestBankOfUsesLowSetBits(t *testing.T) {
+	v := New(Default(2))
+	for set := 0; set < 64; set++ {
+		if got, want := v.BankOf(set), set%4; got != want {
+			t.Fatalf("BankOf(%d) = %d, want %d", set, got, want)
+		}
+	}
+}
+
+func TestFreeBasicSchedulesImmediately(t *testing.T) {
+	v := New(Default(2))
+	if start := v.Schedule(0, 0, 100); start != 100 {
+		t.Fatalf("free bank delayed start to %d", start)
+	}
+}
+
+func TestBusyBankQueues(t *testing.T) {
+	v := New(Default(2))
+	v.Schedule(0, 2, 10) // busy until 14
+	start := v.Schedule(1, 2, 11)
+	if start != 14 {
+		t.Fatalf("queued start = %d, want 14", start)
+	}
+	if v.WaitCycles(1) != 3 {
+		t.Fatalf("wait cycles = %d, want 3", v.WaitCycles(1))
+	}
+	if v.WaitCycles(0) != 0 {
+		t.Fatal("first requester should not have waited")
+	}
+}
+
+func TestIndependentBanksNoQueue(t *testing.T) {
+	v := New(Default(2))
+	v.Schedule(0, 0, 0)
+	if start := v.Schedule(1, 1, 0); start != 0 {
+		t.Fatalf("different bank queued: start = %d", start)
+	}
+}
+
+func TestBackToBackPipelining(t *testing.T) {
+	v := New(Default(1))
+	now := uint64(0)
+	for i := 0; i < 10; i++ {
+		start := v.Schedule(0, 0, now)
+		if start != uint64(i)*4 {
+			t.Fatalf("request %d started at %d, want %d", i, start, i*4)
+		}
+	}
+}
+
+func TestMeanWaitAndReset(t *testing.T) {
+	v := New(Default(2))
+	v.Schedule(0, 0, 0)
+	v.Schedule(1, 0, 0) // waits 4
+	v.Schedule(1, 0, 0) // waits 8
+	if v.Requests(1) != 2 {
+		t.Fatalf("requests = %d, want 2", v.Requests(1))
+	}
+	if mw := v.MeanWait(1); mw != 6 {
+		t.Fatalf("mean wait = %v, want 6", mw)
+	}
+	v.ResetStats()
+	if v.Requests(1) != 0 || v.WaitCycles(1) != 0 || v.MeanWait(1) != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTable4RowCount(t *testing.T) {
+	if len(All()) != 38 {
+		t.Fatalf("Table 4 has %d rows, want 38 as printed in the paper", len(All()))
+	}
+}
+
+func TestClassifyTable5(t *testing.T) {
+	cases := []struct {
+		fpn, mpki float64
+		want      Class
+	}{
+		{1.33, 0.05, VeryLow}, // calc
+		{3.4, 1.34, Low},      // gcc
+		{3.39, 26.67, Medium}, // art (small footprint, intense)
+		{23.12, 1.28, Medium}, // gap (large footprint, light)
+		{32, 10.58, High},     // apsi
+		{29.7, 15.11, High},   // libq
+		{32, 42.11, VeryHigh}, // cact
+		{32, 26.18, VeryHigh}, // STRM
+		{15.99, 4.99, Low},    // boundary: below both cutoffs
+		{16, 25, VeryHigh},    // boundary: at both cutoffs
+		{16, 24.99, High},
+		{16, 4.99, Medium},
+	}
+	for _, c := range cases {
+		if got := Classify(c.fpn, c.mpki); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.fpn, c.mpki, got, c.want)
+		}
+	}
+}
+
+func TestEverySpecMatchesPaperClass(t *testing.T) {
+	// The class column of Table 4 must be reproduced exactly by Table 5's
+	// rule applied to the Fpn/MPKI columns.
+	wantClasses := map[string]Class{
+		"black": VeryLow, "calc": VeryLow, "craf": VeryLow, "deal": VeryLow,
+		"eon": VeryLow, "fmine": VeryLow, "h26": VeryLow, "nam": VeryLow,
+		"sphnx": VeryLow, "tont": VeryLow, "swapt": VeryLow,
+		"gcc": Low, "mesa": Low, "pben": Low, "vort": Low, "vpr": Low,
+		"fsim": Low, "sclust": Low,
+		"art": Medium, "bzip": Medium, "gap": Medium, "gob": Medium,
+		"hmm": Medium, "lesl": Medium, "mcf": Medium, "omn": Medium,
+		"sopl": Medium, "twolf": Medium, "wup": Medium,
+		"apsi": High, "astar": High, "gzip": High, "libq": High,
+		"milc": High, "wrf": High,
+		"cact": VeryHigh, "lbm": VeryHigh, "STRM": VeryHigh,
+	}
+	for name, want := range wantClasses {
+		spec := MustByName(name)
+		if got := spec.Class(); got != want {
+			t.Errorf("%s classified %v, want %v (Fpn=%v MPKI=%v)", name, got, want, spec.Fpn, spec.L2MPKI)
+		}
+	}
+}
+
+func TestRuleVsTableDivergences(t *testing.T) {
+	// Table 4's printed class column deviates from Table 5's rule for
+	// exactly two rows; Spec.Class() follows the table (see bench.Spec doc).
+	divergent := map[string]bool{"hmm": true, "astar": true}
+	for _, s := range All() {
+		rule := Classify(s.Fpn, s.L2MPKI)
+		if (rule != s.Class()) != divergent[s.Name] {
+			t.Errorf("%s: rule=%v table=%v, divergence expectation %v",
+				s.Name, rule, s.Class(), divergent[s.Name])
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	byClass := ByClass()
+	want := map[Class]int{VeryLow: 11, Low: 7, Medium: 11, High: 6, VeryHigh: 3}
+	for c, n := range want {
+		if len(byClass[c]) != n {
+			t.Errorf("class %v has %d members, want %d: %v", c, len(byClass[c]), n, byClass[c])
+		}
+	}
+}
+
+func TestThrashingSets(t *testing.T) {
+	// Footprint rule: 12 benchmarks at Fpn >= 16 (the figures' 11 + STRM).
+	th := ThrashingNames()
+	if len(th) != 12 {
+		t.Fatalf("thrashing names = %v (%d), want 12", th, len(th))
+	}
+	// The figures' list: 11 apps, all thrashing by the footprint rule.
+	if len(FigureThrashingNames) != 11 {
+		t.Fatalf("figure thrashing list has %d entries, want 11", len(FigureThrashingNames))
+	}
+	for _, name := range FigureThrashingNames {
+		if !MustByName(name).Thrashing() {
+			t.Errorf("%s in the figures' thrashing list but Fpn < 16", name)
+		}
+	}
+}
+
+func TestByNameLookup(t *testing.T) {
+	if _, ok := ByName("mcf"); !ok {
+		t.Fatal("mcf missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName on unknown did not panic")
+		}
+	}()
+	MustByName("nonexistent")
+}
+
+func testGeometry() Geometry {
+	return Geometry{LLCSets: 2048, L2Blocks: 1024, BlockBytes: 64}
+}
+
+func TestGeneratorsConstructForAllSpecs(t *testing.T) {
+	g := testGeometry()
+	for i, s := range All() {
+		gen := s.Generator(g, uint64(i+1)<<40, 7)
+		var op trace.Op
+		for j := 0; j < 1000; j++ {
+			gen.Next(&op)
+			if op.Addr < uint64(i+1)<<40 {
+				t.Fatalf("%s: address %#x below base", s.Name, op.Addr)
+			}
+		}
+	}
+}
+
+func TestGeneratorWorkingSetScalesWithFpn(t *testing.T) {
+	g := testGeometry()
+	// Cyclic family: the sweep length is Fpn x LLCSets blocks.
+	spec := MustByName("gob") // Fpn 16.8
+	gen := spec.Generator(g, 0, 1)
+	seen := map[uint64]bool{}
+	var op trace.Op
+	for j := 0; j < 200000; j++ {
+		gen.Next(&op)
+		seen[op.Addr] = true
+	}
+	want := int(spec.Fpn * float64(g.LLCSets))
+	if len(seen) < want*9/10 || len(seen) > want {
+		t.Fatalf("gob touched %d blocks, want ~%d", len(seen), want)
+	}
+}
+
+func TestMemRatioTracksMPKIForThrashers(t *testing.T) {
+	// Stream family: sequential accesses are half-covered by the next-line
+	// prefetcher, so the instruction-level ratio is 2x the demand target.
+	lbm := MustByName("lbm")
+	if r := lbm.memRatio(); r < 0.09 || r > 0.11 {
+		t.Fatalf("lbm mem ratio = %v, want ~0.097 (2x 48.46/1000)", r)
+	}
+	// Cyclic family: stride-3 sweeps are prefetch-immune; ratio = MPKI/1000.
+	gap := MustByName("gap")
+	if r := gap.memRatio(); r < 0.001 || r > 0.002 {
+		t.Fatalf("gap mem ratio = %v, want ~0.00128", r)
+	}
+}
+
+func TestHotProbOrdersByIntensity(t *testing.T) {
+	// Less intense working-set apps keep more references in the hot set.
+	calc, bzip := MustByName("calc"), MustByName("bzip")
+	if calc.hotProb() <= bzip.hotProb() {
+		t.Fatalf("calc hotProb %v <= bzip %v; intensity ordering broken", calc.hotProb(), bzip.hotProb())
+	}
+}
+
+func TestFamilyAndClassStrings(t *testing.T) {
+	if FamCyclic.String() != "cyclic" || FamStream.String() != "stream" {
+		t.Fatal("family names wrong")
+	}
+	if VeryLow.String() != "VL" || VeryHigh.String() != "VH" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestGeneratorsDistinctAcrossSeeds(t *testing.T) {
+	g := testGeometry()
+	spec := MustByName("mcf")
+	g1 := spec.Generator(g, 0, 1)
+	g2 := spec.Generator(g, 0, 2)
+	var a, b trace.Op
+	diff := false
+	for j := 0; j < 100; j++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical mcf streams")
+	}
+}

@@ -1,0 +1,374 @@
+// Package cache models set-associative caches with pluggable replacement
+// policies, as required to reproduce the memory hierarchy of Sridharan &
+// Seznec's ADAPT study (Table 3 of the paper): private L1s and L2s and a
+// large shared last-level cache.
+//
+// The package is purely about cache *state* (tags, dirty bits, replacement
+// metadata owned by policies); timing is handled by the callers in
+// internal/sim with the help of the TimedPool type (MSHRs and write-back
+// buffers). State transitions use the usual trace-driven fill-on-miss
+// approximation: a missing block is installed at lookup time, and the caller
+// propagates the miss down the hierarchy afterwards.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry describes the shape of a cache and of the system around it.
+// Replacement policies are constructed against a Geometry before the cache
+// itself exists.
+type Geometry struct {
+	Sets  int // number of sets; must be a power of two
+	Ways  int // associativity
+	Cores int // number of cores (applications) that may access the cache
+}
+
+// Blocks returns the total number of cache blocks.
+func (g Geometry) Blocks() int { return g.Sets * g.Ways }
+
+// Config describes one cache instance.
+type Config struct {
+	Name       string // for error messages and stats dumps
+	Geometry   Geometry
+	BlockBytes int    // line size; 64 in the paper
+	HitLatency uint64 // lookup latency in cycles (L1: 3, L2: 14, LLC: 24)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	g := c.Geometry
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, g.Sets)
+	}
+	if g.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, g.Ways)
+	}
+	if g.Cores <= 0 {
+		return fmt.Errorf("cache %s: cores must be positive, got %d", c.Name, g.Cores)
+	}
+	if c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size must be a positive power of two, got %d", c.Name, c.BlockBytes)
+	}
+	return nil
+}
+
+// Access describes one reference presented to a cache. Addresses are block
+// addresses (byte address with the block-offset bits already stripped); the
+// hierarchy uses a single global block-address space with per-application
+// regions, so no address-space identifier is needed beyond Core.
+type Access struct {
+	Block     uint64 // block address
+	Core      int    // issuing application (one application per core)
+	PC        uint64 // program counter of the memory instruction (SHiP signature source)
+	Write     bool   // store (or write-back) rather than load
+	Demand    bool   // demand reference; false for prefetches and write-backs
+	Writeback bool   // fill produced by an upper-level dirty eviction
+}
+
+// EvictedLine describes a line leaving a cache.
+type EvictedLine struct {
+	Block uint64
+	Core  int
+	Dirty bool
+}
+
+// ReplacementPolicy is the hook interface replacement algorithms implement.
+// The cache invokes the methods in this order on a reference:
+//
+//	hit:  OnHit
+//	miss: OnMiss, FillDecision, [OnEvict if a valid victim], OnFill
+//
+// FillDecision may return allocate=false to bypass the fill entirely (the
+// block is forwarded to the requester without being installed), which is how
+// ADAPT_bp32 and the bypass variants of Figure 6 are expressed. Policies
+// receive every access, including prefetches and write-backs, and are
+// responsible for filtering on a.Demand where the modelled hardware does so.
+type ReplacementPolicy interface {
+	Name() string
+	OnHit(a *Access, set, way int)
+	OnMiss(a *Access, set int)
+	FillDecision(a *Access, set int) (way int, allocate bool)
+	OnFill(a *Access, set, way int)
+	OnEvict(set, way int, ev EvictedLine)
+}
+
+// Line is one cache block's bookkeeping state. Replacement metadata lives in
+// the policies, not here.
+type Line struct {
+	Tag      uint64
+	Valid    bool
+	Dirty    bool
+	Core     uint8
+	Prefetch bool // filled by a prefetch and not yet referenced by a demand access
+}
+
+// Result reports what a call to Access did.
+type Result struct {
+	Hit          bool
+	Bypassed     bool        // miss for which the policy declined to allocate
+	EvictedValid bool        // a valid line was displaced by the fill
+	Evicted      EvictedLine // the displaced line, if EvictedValid
+	PrefetchHit  bool        // demand hit on a line installed by a prefetch
+}
+
+// Stats aggregates per-core reference counters. "Demand" excludes prefetches
+// and write-backs. All counters are monotonically increasing; Reset zeroes
+// them (used at the end of the warm-up window).
+type Stats struct {
+	Accesses       []uint64
+	Misses         []uint64
+	DemandAccesses []uint64
+	DemandMisses   []uint64
+	Bypasses       []uint64
+	Evictions      []uint64
+	DirtyEvictions []uint64
+	PrefetchFills  []uint64
+}
+
+func newStats(cores int) Stats {
+	return Stats{
+		Accesses:       make([]uint64, cores),
+		Misses:         make([]uint64, cores),
+		DemandAccesses: make([]uint64, cores),
+		DemandMisses:   make([]uint64, cores),
+		Bypasses:       make([]uint64, cores),
+		Evictions:      make([]uint64, cores),
+		DirtyEvictions: make([]uint64, cores),
+		PrefetchFills:  make([]uint64, cores),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	for _, arr := range [][]uint64{
+		s.Accesses, s.Misses, s.DemandAccesses, s.DemandMisses,
+		s.Bypasses, s.Evictions, s.DirtyEvictions, s.PrefetchFills,
+	} {
+		for i := range arr {
+			arr[i] = 0
+		}
+	}
+}
+
+// TotalDemandMisses sums demand misses across cores.
+func (s *Stats) TotalDemandMisses() uint64 {
+	var t uint64
+	for _, v := range s.DemandMisses {
+		t += v
+	}
+	return t
+}
+
+// TotalDemandAccesses sums demand accesses across cores.
+func (s *Stats) TotalDemandAccesses() uint64 {
+	var t uint64
+	for _, v := range s.DemandAccesses {
+		t += v
+	}
+	return t
+}
+
+// Cache is a set-associative, write-back, write-allocate cache.
+type Cache struct {
+	cfg      Config
+	setShift uint // log2(sets)
+	lines    []Line
+	policy   ReplacementPolicy
+	stats    Stats
+}
+
+// New builds a cache. It panics on invalid configuration (construction
+// happens at setup time from vetted configs; failing loudly beats limping).
+func New(cfg Config, p ReplacementPolicy) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if p == nil {
+		panic(fmt.Sprintf("cache %s: nil replacement policy", cfg.Name))
+	}
+	return &Cache{
+		cfg:      cfg,
+		setShift: uint(bits.TrailingZeros(uint(cfg.Geometry.Sets))),
+		lines:    make([]Line, cfg.Geometry.Sets*cfg.Geometry.Ways),
+		policy:   p,
+		stats:    newStats(cfg.Geometry.Cores),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the live counters. Callers must not retain the slices across
+// a Reset if they need pre-reset values.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+
+// SetOf returns the set index for a block address.
+func (c *Cache) SetOf(block uint64) int {
+	return int(block & uint64(c.cfg.Geometry.Sets-1))
+}
+
+// TagOf returns the tag for a block address.
+func (c *Cache) TagOf(block uint64) uint64 {
+	return block >> c.setShift
+}
+
+// BlockOf reconstructs a block address from a set index and tag.
+func (c *Cache) BlockOf(set int, tag uint64) uint64 {
+	return tag<<c.setShift | uint64(set)
+}
+
+func (c *Cache) line(set, way int) *Line {
+	return &c.lines[set*c.cfg.Geometry.Ways+way]
+}
+
+// Lookup reports whether block is present, without updating any state.
+func (c *Cache) Lookup(block uint64) (way int, ok bool) {
+	set, tag := c.SetOf(block), c.TagOf(block)
+	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+		if ln := c.line(set, w); ln.Valid && ln.Tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Access performs a reference: on hit it updates replacement and dirty state;
+// on miss it consults the policy, possibly evicting a victim and installing
+// the block. The returned Result tells the caller whether to recurse into the
+// next level (miss), whether a dirty victim needs writing back, and whether
+// the fill was bypassed.
+func (c *Cache) Access(a *Access) Result {
+	set, tag := c.SetOf(a.Block), c.TagOf(a.Block)
+	c.stats.Accesses[a.Core]++
+	if a.Demand {
+		c.stats.DemandAccesses[a.Core]++
+	}
+
+	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid && ln.Tag == tag {
+			res := Result{Hit: true}
+			if a.Demand && ln.Prefetch {
+				ln.Prefetch = false
+				res.PrefetchHit = true
+			}
+			if a.Write {
+				ln.Dirty = true
+			}
+			c.policy.OnHit(a, set, w)
+			return res
+		}
+	}
+
+	// Miss.
+	c.stats.Misses[a.Core]++
+	if a.Demand {
+		c.stats.DemandMisses[a.Core]++
+	}
+	c.policy.OnMiss(a, set)
+
+	way, allocate := c.policy.FillDecision(a, set)
+	if !allocate {
+		c.stats.Bypasses[a.Core]++
+		return Result{Bypassed: true}
+	}
+	if way < 0 || way >= c.cfg.Geometry.Ways {
+		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way))
+	}
+
+	res := Result{}
+	victim := c.line(set, way)
+	if victim.Valid {
+		ev := EvictedLine{Block: c.BlockOf(set, victim.Tag), Core: int(victim.Core), Dirty: victim.Dirty}
+		c.policy.OnEvict(set, way, ev)
+		c.stats.Evictions[int(victim.Core)]++
+		if victim.Dirty {
+			c.stats.DirtyEvictions[int(victim.Core)]++
+		}
+		res.EvictedValid = true
+		res.Evicted = ev
+	}
+
+	*victim = Line{
+		Tag:      tag,
+		Valid:    true,
+		Dirty:    a.Write,
+		Core:     uint8(a.Core),
+		Prefetch: !a.Demand && !a.Writeback,
+	}
+	if victim.Prefetch {
+		c.stats.PrefetchFills[a.Core]++
+	}
+	c.policy.OnFill(a, set, way)
+	return res
+}
+
+// WritebackNoAllocate presents an upper level's dirty victim to this cache
+// without allocating on a miss: a hit absorbs the write (the line turns
+// dirty), a miss leaves the cache untouched and the caller forwards the
+// write to the next level. This is the non-inclusive LLC's victim-write
+// path — allocating such lines would only churn the cache with blocks the
+// upper level just proved it no longer wants.
+func (c *Cache) WritebackNoAllocate(a *Access) (hit bool) {
+	set, tag := c.SetOf(a.Block), c.TagOf(a.Block)
+	c.stats.Accesses[a.Core]++
+	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid && ln.Tag == tag {
+			ln.Dirty = true
+			c.policy.OnHit(a, set, w)
+			return true
+		}
+	}
+	c.stats.Misses[a.Core]++
+	return false
+}
+
+// Invalidate removes block if present and returns its state, notifying the
+// policy. Used by tests and by non-inclusive hierarchy plumbing.
+func (c *Cache) Invalidate(block uint64) (was Line, ok bool) {
+	set, tag := c.SetOf(block), c.TagOf(block)
+	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid && ln.Tag == tag {
+			was = *ln
+			c.policy.OnEvict(set, w, EvictedLine{Block: block, Core: int(ln.Core), Dirty: ln.Dirty})
+			*ln = Line{}
+			return was, true
+		}
+	}
+	return Line{}, false
+}
+
+// OccupancyByCore counts valid lines owned by each core. Used by fairness
+// analyses and tests.
+func (c *Cache) OccupancyByCore() []int {
+	occ := make([]int, c.cfg.Geometry.Cores)
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			occ[int(c.lines[i].Core)]++
+		}
+	}
+	return occ
+}
+
+// ValidLines counts valid lines in the whole cache.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// LineAt exposes a copy of the line at (set, way) for tests and debugging.
+func (c *Cache) LineAt(set, way int) Line {
+	return *c.line(set, way)
+}

@@ -1,0 +1,125 @@
+package cache
+
+// TimedPool models a fixed-capacity pool of entries that are each busy until
+// some future cycle: MSHRs and write-back buffers. It answers the only timing
+// question those structures pose to the rest of the simulator: "if I need an
+// entry at time t, when do I actually get one?".
+//
+// The pool keeps a binary min-heap of the busy-until times of its occupied
+// entries. Reserve returns the earliest time at or after `now` at which an
+// entry is available, releasing the entry it displaces; the caller then
+// computes the operation's completion time and registers it with Occupy.
+//
+// The zero value is unusable; use NewTimedPool.
+type TimedPool struct {
+	capacity int
+	times    []uint64 // min-heap of busy-until times
+
+	// Stats.
+	reservations uint64
+	stallCycles  uint64
+}
+
+// NewTimedPool returns a pool with the given number of entries.
+func NewTimedPool(capacity int) *TimedPool {
+	if capacity <= 0 {
+		panic("cache: TimedPool capacity must be positive")
+	}
+	return &TimedPool{capacity: capacity, times: make([]uint64, 0, capacity)}
+}
+
+// Capacity returns the configured number of entries.
+func (p *TimedPool) Capacity() int { return p.capacity }
+
+// InFlight returns the number of currently tracked busy entries. Entries
+// whose busy-until time has passed still count until displaced by Reserve;
+// callers interested in logical occupancy at a time t should use BusyAt.
+func (p *TimedPool) InFlight() int { return len(p.times) }
+
+// BusyAt returns how many entries are busy strictly after time t.
+func (p *TimedPool) BusyAt(t uint64) int {
+	n := 0
+	for _, bt := range p.times {
+		if bt > t {
+			n++
+		}
+	}
+	return n
+}
+
+// Reserve returns the earliest time >= now at which an entry is free. If the
+// pool has a free entry the answer is now; otherwise the caller is delayed
+// until the earliest busy entry drains. The freed slot is consumed; the
+// caller must follow up with Occupy to register the new operation's
+// completion time.
+func (p *TimedPool) Reserve(now uint64) uint64 {
+	p.reservations++
+	if len(p.times) < p.capacity {
+		return now
+	}
+	earliest := p.times[0]
+	p.pop()
+	if earliest > now {
+		p.stallCycles += earliest - now
+		return earliest
+	}
+	return now
+}
+
+// Occupy registers an entry as busy until the given time. It must pair with
+// a preceding Reserve; exceeding capacity panics, as that indicates a
+// protocol violation in the caller.
+func (p *TimedPool) Occupy(until uint64) {
+	if len(p.times) >= p.capacity {
+		panic("cache: TimedPool.Occupy without Reserve (pool over capacity)")
+	}
+	p.push(until)
+}
+
+// StallCycles returns the cumulative cycles callers were delayed waiting for
+// a free entry.
+func (p *TimedPool) StallCycles() uint64 { return p.stallCycles }
+
+// Reservations returns how many Reserve calls were made.
+func (p *TimedPool) Reservations() uint64 { return p.reservations }
+
+// ResetStats clears the stall/reservation counters but keeps in-flight state.
+func (p *TimedPool) ResetStats() {
+	p.stallCycles = 0
+	p.reservations = 0
+}
+
+func (p *TimedPool) push(v uint64) {
+	p.times = append(p.times, v)
+	i := len(p.times) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.times[parent] <= p.times[i] {
+			break
+		}
+		p.times[parent], p.times[i] = p.times[i], p.times[parent]
+		i = parent
+	}
+}
+
+func (p *TimedPool) pop() {
+	n := len(p.times) - 1
+	p.times[0] = p.times[n]
+	p.times = p.times[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && p.times[l] < p.times[smallest] {
+			smallest = l
+		}
+		if r < n && p.times[r] < p.times[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		p.times[i], p.times[smallest] = p.times[smallest], p.times[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimedPoolFreeEntryNoDelay(t *testing.T) {
+	p := NewTimedPool(2)
+	if start := p.Reserve(100); start != 100 {
+		t.Fatalf("Reserve with free entries delayed: %d", start)
+	}
+	p.Occupy(200)
+	if start := p.Reserve(100); start != 100 {
+		t.Fatalf("second Reserve with a free entry delayed: %d", start)
+	}
+	p.Occupy(300)
+}
+
+func TestTimedPoolFullDelaysToEarliest(t *testing.T) {
+	p := NewTimedPool(2)
+	p.Reserve(0)
+	p.Occupy(50)
+	p.Reserve(0)
+	p.Occupy(80)
+	// Pool full; a request at t=10 must wait for the earliest drain (50).
+	if start := p.Reserve(10); start != 50 {
+		t.Fatalf("Reserve on full pool returned %d, want 50", start)
+	}
+	p.Occupy(90)
+	if p.StallCycles() != 40 {
+		t.Fatalf("stall cycles = %d, want 40", p.StallCycles())
+	}
+}
+
+func TestTimedPoolExpiredEntryNoDelay(t *testing.T) {
+	p := NewTimedPool(1)
+	p.Reserve(0)
+	p.Occupy(5)
+	// At t=10 the single entry has drained; no delay.
+	if start := p.Reserve(10); start != 10 {
+		t.Fatalf("Reserve after drain returned %d, want 10", start)
+	}
+	if p.StallCycles() != 0 {
+		t.Fatal("no stall should be recorded for drained entries")
+	}
+}
+
+func TestTimedPoolBusyAt(t *testing.T) {
+	p := NewTimedPool(4)
+	for _, until := range []uint64{10, 20, 30} {
+		p.Reserve(0)
+		p.Occupy(until)
+	}
+	if got := p.BusyAt(15); got != 2 {
+		t.Fatalf("BusyAt(15) = %d, want 2", got)
+	}
+	if got := p.BusyAt(40); got != 0 {
+		t.Fatalf("BusyAt(40) = %d, want 0", got)
+	}
+	if p.InFlight() != 3 {
+		t.Fatalf("InFlight = %d, want 3", p.InFlight())
+	}
+}
+
+func TestTimedPoolOccupyOverCapacityPanics(t *testing.T) {
+	p := NewTimedPool(1)
+	p.Reserve(0)
+	p.Occupy(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Occupy over capacity did not panic")
+		}
+	}()
+	p.Occupy(2)
+}
+
+func TestTimedPoolZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimedPool(0) did not panic")
+		}
+	}()
+	NewTimedPool(0)
+}
+
+// TestTimedPoolHeapProperty drives the pool with random occupy times and
+// verifies Reserve always pops the globally earliest busy-until time, by
+// comparing against a sorted reference model.
+func TestTimedPoolHeapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const capacity = 8
+		p := NewTimedPool(capacity)
+		var model []uint64 // busy-until times, reference
+		for _, r := range raw {
+			until := uint64(r)
+			start := p.Reserve(0)
+			if len(model) < capacity {
+				if start != 0 {
+					return false
+				}
+			} else {
+				sort.Slice(model, func(i, j int) bool { return model[i] < model[j] })
+				want := model[0]
+				model = model[1:]
+				if start != want {
+					return false
+				}
+			}
+			p.Occupy(until)
+			model = append(model, until)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedPoolResetStats(t *testing.T) {
+	p := NewTimedPool(1)
+	p.Reserve(0)
+	p.Occupy(100)
+	p.Reserve(0) // stalls 100
+	p.Occupy(200)
+	if p.StallCycles() == 0 || p.Reservations() != 2 {
+		t.Fatal("expected recorded stalls and reservations")
+	}
+	p.ResetStats()
+	if p.StallCycles() != 0 || p.Reservations() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+	if p.InFlight() != 1 {
+		t.Fatal("ResetStats must not drop in-flight entries")
+	}
+}

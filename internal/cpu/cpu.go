@@ -1,0 +1,220 @@
+// Package cpu models the paper's processor cores as trace-driven load
+// generators with bounded memory-level parallelism. The paper uses 4-way
+// out-of-order cores with a 128-entry ROB (Table 3, via the BADCO
+// simulator); what the evaluated mechanisms actually depend on is how many
+// misses a core can overlap and when it stalls, which this model captures:
+//
+//   - Non-memory instructions retire at the pipeline width per cycle.
+//   - Loads issue without blocking and complete whenever the memory system
+//     says; the core keeps running until either the ROB window (the distance
+//     to the oldest incomplete load) or the outstanding-miss limit (MSHRs)
+//     is exhausted, at which point it stalls until the oldest load returns.
+//   - Stores retire through the write buffer and never stall the core
+//     directly (back-pressure appears as memory-system latency instead).
+//
+// See DESIGN.md §1.3 for the substitution argument versus BADCO.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MemSystem is the interface the core drives: one call per memory
+// reference, returning the reference's completion time. Implementations
+// (internal/sim) route the access through L1/L2/LLC/DRAM.
+type MemSystem interface {
+	Access(core int, now uint64, addr uint64, write bool, pc uint64) (done uint64)
+}
+
+// Config sizes a core.
+type Config struct {
+	ID             int
+	Width          int // retire width (4)
+	ROB            int // reorder-buffer window in instructions (128)
+	MaxOutstanding int // simultaneous incomplete loads (L1 MSHRs; 8)
+}
+
+// Default returns the paper's core configuration for the given core ID.
+func Default(id int) Config {
+	return Config{ID: id, Width: 4, ROB: 128, MaxOutstanding: 8}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.MaxOutstanding <= 0 {
+		return fmt.Errorf("cpu: width (%d), ROB (%d) and MaxOutstanding (%d) must be positive",
+			c.Width, c.ROB, c.MaxOutstanding)
+	}
+	return nil
+}
+
+// inflight tracks an incomplete load.
+type inflight struct {
+	instr uint64 // index of the load instruction
+	done  uint64 // completion time
+}
+
+// Core is one simulated core. Not safe for concurrent use.
+type Core struct {
+	cfg Config
+	gen trace.Generator
+	mem MemSystem
+
+	clock   uint64
+	retired uint64
+	slack   uint64 // sub-cycle accumulation of non-mem instructions
+
+	// Ring buffer of incomplete loads, oldest first. Fixed capacity
+	// (MaxOutstanding) keeps the hot path allocation-free.
+	loads     []inflight
+	loadHead  int
+	loadCount int
+
+	// op is the reusable decode buffer; keeping it on the Core (rather
+	// than the stack) avoids a heap allocation per Step, since the
+	// generator receives it through an interface call.
+	op trace.Op
+
+	// Stats.
+	memAccesses uint64
+	loadIssued  uint64
+	storeCount  uint64
+	stallCycles uint64
+}
+
+// New builds a core bound to a trace generator and a memory system.
+func New(cfg Config, gen trace.Generator, mem MemSystem) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if gen == nil || mem == nil {
+		panic("cpu: nil generator or memory system")
+	}
+	return &Core{cfg: cfg, gen: gen, mem: mem, loads: make([]inflight, cfg.MaxOutstanding)}
+}
+
+// oldest returns the ring's front entry; callers must check loadCount > 0.
+func (c *Core) oldest() inflight { return c.loads[c.loadHead] }
+
+func (c *Core) popLoad() inflight {
+	e := c.loads[c.loadHead]
+	c.loadHead = (c.loadHead + 1) % len(c.loads)
+	c.loadCount--
+	return e
+}
+
+func (c *Core) pushLoad(e inflight) {
+	c.loads[(c.loadHead+c.loadCount)%len(c.loads)] = e
+	c.loadCount++
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Clock returns the core's local cycle count.
+func (c *Core) Clock() uint64 { return c.clock }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// MemAccesses returns the number of memory references issued.
+func (c *Core) MemAccesses() uint64 { return c.memAccesses }
+
+// StallCycles returns cycles lost to window/MSHR stalls.
+func (c *Core) StallCycles() uint64 { return c.stallCycles }
+
+// advance retires n non-memory instructions at the pipeline width.
+func (c *Core) advance(n uint64) {
+	c.retired += n
+	c.slack += n
+	c.clock += c.slack / uint64(c.cfg.Width)
+	c.slack %= uint64(c.cfg.Width)
+}
+
+// drainOldest stalls the core until its oldest load completes.
+func (c *Core) drainOldest() {
+	if c.loadCount == 0 {
+		return
+	}
+	oldest := c.popLoad()
+	if oldest.done > c.clock {
+		c.stallCycles += oldest.done - c.clock
+		c.clock = oldest.done
+	}
+}
+
+// reap removes loads that have completed by the current clock.
+func (c *Core) reap() {
+	for c.loadCount > 0 && c.oldest().done <= c.clock {
+		c.popLoad()
+	}
+}
+
+// Step executes one trace op (its gap instructions plus its memory access)
+// and returns the core's new local clock. The caller (internal/sim) keeps a
+// min-heap of core clocks to interleave cores in global time order.
+func (c *Core) Step() uint64 {
+	op := &c.op
+	c.gen.Next(op)
+
+	c.advance(uint64(op.Gap))
+	c.reap()
+
+	// Structural stalls: ROB window and MSHR occupancy.
+	for c.loadCount > 0 && c.retired-c.oldest().instr >= uint64(c.cfg.ROB) {
+		c.drainOldest()
+	}
+	for c.loadCount >= c.cfg.MaxOutstanding {
+		c.drainOldest()
+	}
+
+	done := c.mem.Access(c.cfg.ID, c.clock, op.Addr, op.Write, op.PC)
+	c.memAccesses++
+	if op.Write {
+		c.storeCount++
+	} else {
+		c.loadIssued++
+		c.pushLoad(inflight{instr: c.retired, done: done})
+	}
+	c.retired++ // the memory instruction itself
+	c.slack++
+	c.clock += c.slack / uint64(c.cfg.Width)
+	c.slack %= uint64(c.cfg.Width)
+	return c.clock
+}
+
+// Drain stalls until all outstanding loads have completed; used when
+// freezing a core's cycle count at its instruction target.
+func (c *Core) Drain() uint64 {
+	for c.loadCount > 0 {
+		c.drainOldest()
+	}
+	return c.clock
+}
+
+// ResetStats zeroes instruction/cycle counters while keeping
+// microarchitectural state (in-flight loads, generator position). Used at
+// the warm-up boundary. The clock keeps running; callers snapshot it.
+// In-flight loads are rebased to instruction index 0 so the ROB-window
+// arithmetic stays valid across the reset.
+func (c *Core) ResetStats() {
+	c.retired = 0
+	c.memAccesses = 0
+	c.loadIssued = 0
+	c.storeCount = 0
+	c.stallCycles = 0
+	for i := range c.loads {
+		c.loads[i].instr = 0
+	}
+}
+
+// IPC returns instructions per cycle relative to a starting cycle snapshot.
+func (c *Core) IPC(sinceCycle uint64) float64 {
+	cycles := c.clock - sinceCycle
+	if cycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(cycles)
+}

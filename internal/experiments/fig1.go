@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig1Result carries the three parts of the motivation experiment.
+type Fig1Result struct {
+	Runs StudyRuns
+	// SpeedupSD128 and SpeedupForced are mean weighted-speedup ratios over
+	// the TA-DRRIP (SD=64) baseline — the bars of Figure 1a.
+	SpeedupSD128  float64
+	SpeedupForced float64
+}
+
+// Fig1 reproduces the motivation experiment: forcing BRRIP insertion for
+// thrashing applications under TA-DRRIP on the 16-core workloads. The paper
+// finds the dueling-learned policy (either SD) leaves the forced oracle's
+// performance on the table (Figure 1a), with per-application effects shown
+// in Figures 1b (thrashing apps, little change) and 1c (others, large MPKI
+// reductions).
+func Fig1(opt Options) Fig1Result {
+	r := NewRunner(opt)
+	study, _ := workload.StudyByCores(16)
+	pols := []PolicySpec{
+		Baseline,
+		{Key: "TA-DRRIP(SD=128)", Policy: "tadrrip-sd128"},
+		ForcedSpec(),
+	}
+	runs := r.RunStudy(study, pols)
+	return Fig1Result{
+		Runs:          runs,
+		SpeedupSD128:  metrics.AMean(runs.SpeedupsOver(Baseline.Key, "TA-DRRIP(SD=128)")),
+		SpeedupForced: metrics.AMean(runs.SpeedupsOver(Baseline.Key, "TA-DRRIP(forced)")),
+	}
+}
+
+// TableA renders Figure 1a.
+func (f Fig1Result) TableA() Table {
+	return Table{
+		Title:  "Figure 1a — speed-up over TA-DRRIP (16-core)",
+		Note:   "paper: SD=64 ~ SD=128 ~ 1.0, forced-BRRIP well above both",
+		Header: []string{"configuration", "weighted speed-up vs TA-DRRIP(SD=64)"},
+		Rows: [][]string{
+			{"TA-DRRIP(SD=64)", f3(1.0)},
+			{"TA-DRRIP(SD=128)", f3(f.SpeedupSD128)},
+			{"TA-DRRIP(forced)", f3(f.SpeedupForced)},
+		},
+	}
+}
+
+// TableB renders Figure 1b: MPKI reduction of the thrashing applications
+// under the forced oracle.
+func (f Fig1Result) TableB() Table {
+	return f.perAppTable(
+		"Figure 1b — % reduction in MPKI, thrashing applications (forced BRRIP)",
+		"paper: little change for most; cactusADM degrades (~-40%)",
+		true,
+	)
+}
+
+// TableC renders Figure 1c: MPKI reduction of the other applications.
+func (f Fig1Result) TableC() Table {
+	return f.perAppTable(
+		"Figure 1c — % reduction in MPKI, non-thrashing applications (forced BRRIP)",
+		"paper: large reductions (art up to 72%)",
+		false,
+	)
+}
+
+func (f Fig1Result) perAppTable(title, note string, thrashing bool) Table {
+	deltas := f.Runs.perAppDeltas(Baseline.Key, "TA-DRRIP(forced)")
+	t := Table{
+		Title:  title,
+		Note:   note,
+		Header: []string{"app", "MPKI reduction %", "IPC speed-up", "occurrences"},
+	}
+	for _, name := range sortedNames(deltas) {
+		if bench.MustByName(name).Thrashing() != thrashing {
+			continue
+		}
+		d := deltas[name]
+		t.Rows = append(t.Rows, []string{name, pct(d.MPKIReductionPct), f3(d.IPCSpeedup), itoa(d.Occurrences)})
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// Fig3Result carries the 16-core comparison of ADAPT against the prior
+// policies — the headline experiment (Figure 3) — and feeds Figures 4/5.
+type Fig3Result struct {
+	Runs StudyRuns
+	// Curves maps policy key -> per-workload weighted-speedup ratio over
+	// TA-DRRIP, sorted ascending (the s-curve).
+	Curves map[string][]float64
+	// Mean maps policy key -> mean ratio.
+	Mean map[string]float64
+}
+
+// Fig3 runs the 16-core study with the five compared policies plus the
+// baseline. The paper reports ADAPT_bp32 up to +7% and +4.7% on average,
+// EAF between, SHiP slightly below baseline, LRU below that.
+func Fig3(opt Options) Fig3Result {
+	r := NewRunner(opt)
+	study, _ := workload.StudyByCores(16)
+	pols := append([]PolicySpec{Baseline}, ComparisonSpecs()...)
+	runs := r.RunStudy(study, pols)
+	return newCurves(runs)
+}
+
+func newCurves(runs StudyRuns) Fig3Result {
+	out := Fig3Result{Runs: runs, Curves: map[string][]float64{}, Mean: map[string]float64{}}
+	for _, p := range ComparisonSpecs() {
+		if _, ok := runs.ByPolicy[p.Key]; !ok {
+			continue
+		}
+		sp := runs.SpeedupsOver(Baseline.Key, p.Key)
+		out.Curves[p.Key] = metrics.SCurve(sp)
+		out.Mean[p.Key] = metrics.AMean(sp)
+	}
+	return out
+}
+
+// Table renders the s-curves: one row per workload rank, one column per
+// policy, plus mean/max summary rows.
+func (f Fig3Result) Table(title string) Table {
+	keys := []string{}
+	for _, p := range ComparisonSpecs() {
+		if _, ok := f.Curves[p.Key]; ok {
+			keys = append(keys, p.Key)
+		}
+	}
+	t := Table{
+		Title:  title,
+		Note:   "weighted speed-up over TA-DRRIP, each curve sorted ascending",
+		Header: append([]string{"rank"}, keys...),
+	}
+	n := 0
+	if len(keys) > 0 {
+		n = len(f.Curves[keys[0]])
+	}
+	for i := 0; i < n; i++ {
+		row := []string{itoa(i + 1)}
+		for _, k := range keys {
+			row = append(row, f3(f.Curves[k][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean"}
+	max := []string{"max"}
+	for _, k := range keys {
+		mean = append(mean, f3(f.Mean[k]))
+		c := f.Curves[k]
+		max = append(max, f3(c[len(c)-1]))
+	}
+	t.Rows = append(t.Rows, mean, max)
+	return t
+}
+
+// Fig45Tables renders Figures 4 (thrashing applications) and 5 (non-
+// thrashing) from the 16-core runs: per-application MPKI reduction and IPC
+// speed-up of each policy versus TA-DRRIP.
+func (f Fig3Result) Fig45Tables() (fig4, fig5 Table) {
+	keys := []string{}
+	for _, p := range ComparisonSpecs() {
+		if _, ok := f.Runs.ByPolicy[p.Key]; ok {
+			keys = append(keys, p.Key)
+		}
+	}
+	deltas := map[string]map[string]*AppDelta{}
+	for _, k := range keys {
+		deltas[k] = f.Runs.perAppDeltas(Baseline.Key, k)
+	}
+	build := func(title, note string, thrashing bool) Table {
+		t := Table{Title: title, Note: note}
+		t.Header = []string{"app"}
+		for _, k := range keys {
+			t.Header = append(t.Header, k+" dMPKI%", k+" IPCx")
+		}
+		anyKey := keys[0]
+		for _, name := range sortedNames(deltas[anyKey]) {
+			spec, ok := bench.ByName(name)
+			if !ok || spec.Thrashing() != thrashing {
+				continue
+			}
+			row := []string{name}
+			for _, k := range keys {
+				d := deltas[k][name]
+				row = append(row, pct(d.MPKIReductionPct), f3(d.IPCSpeedup))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	fig4 = build(
+		"Figure 4 — thrashing applications: MPKI reduction and IPC vs TA-DRRIP (16-core)",
+		"paper: bypass barely hurts thrashers (cactusADM the exception)",
+		true,
+	)
+	fig5 = build(
+		"Figure 5 — non-thrashing applications: MPKI reduction and IPC vs TA-DRRIP (16-core)",
+		"paper: large MPKI savings (art up to ~70%+) and IPC gains",
+		false,
+	)
+	return fig4, fig5
+}

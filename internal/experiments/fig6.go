@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig6Pair is one policy's insertion-vs-bypass comparison.
+type Fig6Pair struct {
+	Name      string
+	Insertion float64 // mean weighted speed-up over TA-DRRIP, distant lines inserted
+	Bypass    float64 // same with distant lines bypassed
+}
+
+// Fig6Result carries the bypass study.
+type Fig6Result struct {
+	Runs  StudyRuns
+	Pairs []Fig6Pair
+}
+
+// Fig6 reproduces the bypass impact study (§5.3): each policy's distant-
+// priority insertions are either installed or bypassed, on the 16-core
+// workloads. The paper finds bypassing helps TA-DRRIP, EAF and ADAPT but
+// slightly hurts SHiP (its few distant predictions are often wrong).
+func Fig6(opt Options) Fig6Result {
+	r := NewRunner(opt)
+	study, _ := workload.StudyByCores(16)
+	pols := []PolicySpec{
+		Baseline,
+		{Key: "TA-DRRIP/bp", Policy: "tadrrip-bp"},
+		{Key: "SHiP/ins", Policy: "ship"},
+		{Key: "SHiP/bp", Policy: "ship-bp"},
+		{Key: "EAF/ins", Policy: "eaf"},
+		{Key: "EAF/bp", Policy: "eaf-bp"},
+		{Key: "ADAPT/ins", Policy: "adapt-ins"},
+		{Key: "ADAPT/bp", Policy: "adapt"},
+	}
+	runs := r.RunStudy(study, pols)
+	mean := func(key string) float64 {
+		return metrics.AMean(runs.SpeedupsOver(Baseline.Key, key))
+	}
+	return Fig6Result{
+		Runs: runs,
+		Pairs: []Fig6Pair{
+			{Name: "TA-DRRIP", Insertion: 1.0, Bypass: mean("TA-DRRIP/bp")},
+			{Name: "SHiP", Insertion: mean("SHiP/ins"), Bypass: mean("SHiP/bp")},
+			{Name: "EAF", Insertion: mean("EAF/ins"), Bypass: mean("EAF/bp")},
+			{Name: "ADAPT", Insertion: mean("ADAPT/ins"), Bypass: mean("ADAPT/bp")},
+		},
+	}
+}
+
+// Table renders Figure 6.
+func (f Fig6Result) Table() Table {
+	t := Table{
+		Title:  "Figure 6 — impact of bypassing distant-priority lines (16-core)",
+		Note:   "weighted speed-up over TA-DRRIP; paper: bypass helps all but SHiP",
+		Header: []string{"policy", "insertion", "bypass"},
+	}
+	for _, p := range f.Pairs {
+		t.Rows = append(t.Rows, []string{p.Name, f3(p.Insertion), f3(p.Bypass)})
+	}
+	return t
+}

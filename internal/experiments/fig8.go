@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Fig8Result holds one s-curve study per core count.
+type Fig8Result struct {
+	Studies map[int]Fig3Result // keyed by core count
+}
+
+// Fig8 reproduces the scalability study (§5.4): the Figure 3 comparison
+// repeated on the 4-, 8-, 20- and 24-core workloads. The paper reports
+// ADAPT means of +4.8%, +3.5%, +5.8% and +5.9% respectively.
+func Fig8(opt Options) Fig8Result {
+	r := NewRunner(opt)
+	out := Fig8Result{Studies: map[int]Fig3Result{}}
+	for _, cores := range []int{4, 8, 20, 24} {
+		study, _ := workload.StudyByCores(cores)
+		pols := append([]PolicySpec{Baseline}, ComparisonSpecs()...)
+		runs := r.RunStudy(study, pols)
+		out.Studies[cores] = newCurves(runs)
+	}
+	return out
+}
+
+// Tables renders one s-curve table per study.
+func (f Fig8Result) Tables() []Table {
+	var out []Table
+	for _, cores := range []int{4, 8, 20, 24} {
+		res, ok := f.Studies[cores]
+		if !ok {
+			continue
+		}
+		out = append(out, res.Table(fmt.Sprintf("Figure 8 — %d-core workloads", cores)))
+	}
+	return out
+}

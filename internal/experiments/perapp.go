@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// AppDelta aggregates one application's behaviour under a policy relative
+// to the baseline, averaged over every occurrence of the application in a
+// study's mixes (the aggregation behind Figures 1b/1c, 4 and 5).
+type AppDelta struct {
+	Name             string
+	Occurrences      int
+	MPKIReductionPct float64 // mean % reduction in LLC MPKI vs baseline
+	IPCSpeedup       float64 // mean IPC ratio vs baseline
+}
+
+// perAppDeltas compares policy `key` to `base` per application name.
+func (s StudyRuns) perAppDeltas(base, key string) map[string]*AppDelta {
+	baseRuns := s.ByPolicy[base]
+	polRuns := s.ByPolicy[key]
+	acc := map[string]*AppDelta{}
+	for mi := range baseRuns {
+		names := baseRuns[mi].Mix.Names
+		for slot, name := range names {
+			b := baseRuns[mi].Result.Apps[slot]
+			p := polRuns[mi].Result.Apps[slot]
+			d := acc[name]
+			if d == nil {
+				d = &AppDelta{Name: name}
+				acc[name] = d
+			}
+			if b.LLCMPKI > 0 {
+				d.MPKIReductionPct += metrics.ReductionPct(b.LLCMPKI, p.LLCMPKI)
+			}
+			if b.IPC > 0 {
+				d.IPCSpeedup += p.IPC / b.IPC
+			}
+			d.Occurrences++
+		}
+	}
+	for _, d := range acc {
+		if d.Occurrences > 0 {
+			d.MPKIReductionPct /= float64(d.Occurrences)
+			d.IPCSpeedup /= float64(d.Occurrences)
+		}
+	}
+	return acc
+}
+
+// sortedNames returns the map's application names alphabetically, the
+// ordering the paper's per-application bar charts use.
+func sortedNames(m map[string]*AppDelta) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

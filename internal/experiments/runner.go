@@ -1,0 +1,278 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1, 3, 4, 5, 6, 7, 8; Tables 2, 4, 7) plus the design
+// ablations of §3.1/§3.2, on top of the internal/sim machine. Each harness
+// returns structured results and can render itself as text; cmd/paperfig
+// and bench_test.go are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options scales an experiment between "paper" fidelity and test speed.
+type Options struct {
+	// Scale divides every cache's set count (1 = the paper's 16MB LLC).
+	Scale int
+	// MaxWorkloads caps the number of workload mixes per study (0 = the
+	// paper's full Table 6 counts).
+	MaxWorkloads int
+	// WarmupInstr / MeasureInstr are per-application instruction budgets.
+	WarmupInstr  uint64
+	MeasureInstr uint64
+	// Seed drives workload generation and all policy sampling.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// AdaptInterval overrides ADAPT's monitoring interval in misses
+	// (0 = proportional default: 4x the LLC block count).
+	AdaptInterval uint64
+}
+
+// Paper returns full-fidelity options (hours of CPU time; used by
+// cmd/paperfig -full).
+func Paper() Options {
+	return Options{Scale: 1, WarmupInstr: 2_000_000, MeasureInstr: 10_000_000, Seed: 42}
+}
+
+// Quick returns the default options of cmd/paperfig: 64x-scaled caches
+// (256KB LLC) and reduced instruction budgets — minutes, not hours, with
+// the same shapes. The scale/budget pairing matters: a thrashing
+// application needs roughly 24 x LLC-sets of its own accesses before its
+// footprint is observable, so smaller caches need proportionally less
+// instruction budget to classify correctly.
+func Quick() Options {
+	return Options{
+		Scale:        64,
+		MaxWorkloads: 20,
+		WarmupInstr:  200_000,
+		MeasureInstr: 800_000,
+		Seed:         42,
+	}
+}
+
+// Tiny returns options small enough for unit tests and testing.B benches.
+func Tiny() Options {
+	return Options{
+		Scale:        64,
+		MaxWorkloads: 3,
+		WarmupInstr:  60_000,
+		MeasureInstr: 250_000,
+		Seed:         42,
+	}
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// baseConfig builds the machine for a core count under these options.
+func (o Options) baseConfig(cores int) sim.Config {
+	cfg := sim.Scale(sim.DefaultConfig(cores), o.Scale)
+	cfg.Seed = o.Seed
+	cfg.PolicyOpt.Seed = o.Seed
+	if o.AdaptInterval > 0 {
+		cfg.PolicyOpt.AdaptIntervalMisses = o.AdaptInterval
+	}
+	return cfg
+}
+
+// mixes returns the study's workload list under these options.
+func (o Options) mixes(study workload.Study) []workload.Mix {
+	ms := workload.Mixes(study, o.Seed)
+	if o.MaxWorkloads > 0 && len(ms) > o.MaxWorkloads {
+		ms = ms[:o.MaxWorkloads]
+	}
+	return ms
+}
+
+// PolicySpec names one LLC policy configuration under test.
+type PolicySpec struct {
+	// Key is the display name ("ADAPT_bp32", "TA-DRRIP(forced)").
+	Key string
+	// Policy is the registry name.
+	Policy string
+	// Configure optionally adjusts the machine per mix (e.g. the forced-
+	// BRRIP oracle needs the mix's thrashing core mask).
+	Configure func(cfg *sim.Config, names []string)
+}
+
+// Baseline is the paper's baseline policy.
+var Baseline = PolicySpec{Key: "TA-DRRIP", Policy: "tadrrip"}
+
+// ForcedSpec returns the Figure 1 oracle: TA-DRRIP with thrashing
+// applications forced to BRRIP.
+func ForcedSpec() PolicySpec {
+	return PolicySpec{
+		Key:    "TA-DRRIP(forced)",
+		Policy: "tadrrip",
+		Configure: func(cfg *sim.Config, names []string) {
+			forced := make([]bool, len(names))
+			for i, n := range names {
+				forced[i] = bench.MustByName(n).Thrashing()
+			}
+			cfg.PolicyOpt.ForcedBRRIP = forced
+		},
+	}
+}
+
+// ComparisonSpecs are the five curves of Figures 3 and 8, in the paper's
+// legend order.
+func ComparisonSpecs() []PolicySpec {
+	return []PolicySpec{
+		{Key: "ADAPT_bp32", Policy: "adapt"},
+		{Key: "LRU", Policy: "lru"},
+		{Key: "SHiP", Policy: "ship"},
+		{Key: "EAF", Policy: "eaf"},
+		{Key: "ADAPT_ins", Policy: "adapt-ins"},
+	}
+}
+
+// MixRun is one (workload, policy) simulation outcome.
+type MixRun struct {
+	Mix    workload.Mix
+	Result sim.Result
+}
+
+// StudyRuns holds every policy's runs over one study's mixes, plus the
+// solo-mode IPC of each application for weighted-speedup denominators.
+type StudyRuns struct {
+	Study    workload.Study
+	Mixes    []workload.Mix
+	ByPolicy map[string][]MixRun // key -> per-mix results, mix order
+	Alone    map[string]float64  // benchmark name -> solo IPC
+}
+
+// Runner executes simulations with a worker pool and caches solo baselines.
+type Runner struct {
+	Opt Options
+
+	mu    sync.Mutex
+	alone map[string]float64 // key: name@cores-geometry
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opt Options) *Runner {
+	return &Runner{Opt: opt, alone: map[string]float64{}}
+}
+
+// AloneIPC returns (computing and caching on first use) a benchmark's solo
+// IPC on the study's machine with the baseline policy.
+func (r *Runner) AloneIPC(cores int, name string) float64 {
+	key := fmt.Sprintf("%s@%d/%d", name, cores, r.Opt.Scale)
+	r.mu.Lock()
+	v, ok := r.alone[key]
+	r.mu.Unlock()
+	if ok {
+		return v
+	}
+	cfg := r.Opt.baseConfig(cores)
+	cfg.Cores = 1
+	cfg.Arb = sim.DefaultConfig(1).Arb
+	sys := sim.NewFromNames(cfg, []string{name})
+	res := sys.Run(r.Opt.WarmupInstr, r.Opt.MeasureInstr)
+	ipc := res.Apps[0].IPC
+	r.mu.Lock()
+	r.alone[key] = ipc
+	r.mu.Unlock()
+	return ipc
+}
+
+// job identifies one simulation of the study grid.
+type job struct {
+	mixIdx, polIdx int
+}
+
+// RunStudy simulates every (mix, policy) pair of a study and collects solo
+// baselines for each benchmark that appears.
+func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
+	mixes := r.Opt.mixes(study)
+	out := StudyRuns{
+		Study:    study,
+		Mixes:    mixes,
+		ByPolicy: map[string][]MixRun{},
+		Alone:    map[string]float64{},
+	}
+	for _, p := range pols {
+		out.ByPolicy[p.Key] = make([]MixRun, len(mixes))
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < r.Opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				mix := mixes[j.mixIdx]
+				p := pols[j.polIdx]
+				cfg := r.Opt.baseConfig(study.Cores)
+				cfg.LLCPolicy = p.Policy
+				if p.Configure != nil {
+					p.Configure(&cfg, mix.Names)
+				}
+				sys := sim.NewFromNames(cfg, mix.Names)
+				res := sys.Run(r.Opt.WarmupInstr, r.Opt.MeasureInstr)
+				out.ByPolicy[p.Key][j.mixIdx] = MixRun{Mix: mix, Result: res}
+			}
+		}()
+	}
+	for mi := range mixes {
+		for pi := range pols {
+			jobs <- job{mi, pi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Solo baselines (sequential; the cache makes repeats free).
+	for _, m := range mixes {
+		for _, n := range m.Names {
+			if _, ok := out.Alone[n]; !ok {
+				out.Alone[n] = r.AloneIPC(study.Cores, n)
+			}
+		}
+	}
+	return out
+}
+
+// PerWorkload converts one policy's study runs into the metrics package's
+// shape.
+func (s StudyRuns) PerWorkload(key string) []metrics.PerWorkload {
+	runs := s.ByPolicy[key]
+	out := make([]metrics.PerWorkload, len(runs))
+	for i, run := range runs {
+		pw := metrics.PerWorkload{
+			SharedIPC: run.Result.IPCs(),
+			AloneIPC:  make([]float64, len(run.Mix.Names)),
+		}
+		for j, n := range run.Mix.Names {
+			pw.AloneIPC[j] = s.Alone[n]
+		}
+		out[i] = pw
+	}
+	return out
+}
+
+// SpeedupsOver returns per-workload weighted-speedup ratios of key over
+// base — the values of the paper's s-curves.
+func (s StudyRuns) SpeedupsOver(base, key string) []float64 {
+	pb := s.PerWorkload(base)
+	pk := s.PerWorkload(key)
+	out := make([]float64, len(pb))
+	for i := range pb {
+		wb := metrics.WeightedSpeedup(pb[i].SharedIPC, pb[i].AloneIPC)
+		wk := metrics.WeightedSpeedup(pk[i].SharedIPC, pk[i].AloneIPC)
+		out[i] = metrics.Speedup(wk, wb)
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func BenchmarkSixteenCoreTinyRun(b *testing.B) {
+	opt := tinyOpt()
+	study, _ := workload.StudyByCores(16)
+	mix := opt.mixes(study)[0]
+	for i := 0; i < b.N; i++ {
+		cfg := opt.baseConfig(16)
+		sys := sim.NewFromNames(cfg, mix.Names)
+		sys.Run(20_000, 60_000)
+	}
+}

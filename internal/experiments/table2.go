@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// StorageRow is one policy's hardware budget at the paper's Table 2
+// configuration (16MB 16-way LLC, N = 24 cores).
+type StorageRow struct {
+	Policy    string
+	PerApp    string // storage formula per application, where meaningful
+	TotalBits int
+	Paper     string // the paper's reported figure, for side-by-side
+}
+
+// Table2 computes the storage budgets of Table 2 analytically from the
+// implemented structures (no simulation). The LLC is 16MB/16-way (262144
+// blocks) and 24 applications share it.
+func Table2() []StorageRow {
+	const (
+		cores  = 24
+		blocks = 16384 * 16
+	)
+	rows := []StorageRow{}
+
+	// TA-DRRIP: one PSEL (10 bits) plus a BRRIP throttle counter (~6 bits)
+	// per thread — the paper's "16-bit/app".
+	rows = append(rows, StorageRow{
+		Policy:    "TA-DRRIP",
+		PerApp:    "16 bits",
+		TotalBits: 16 * cores,
+		Paper:     "48 Bytes",
+	})
+
+	// EAF: a Bloom filter with 8 bits per tracked address, capacity = the
+	// number of cache blocks.
+	rows = append(rows, StorageRow{
+		Policy:    "EAF-RRIP",
+		PerApp:    "8 bits/address",
+		TotalBits: 8 * blocks,
+		Paper:     "256KB",
+	})
+
+	// SHiP: one SHCT (2^14 3-bit counters) per core plus per-line signature
+	// and outcome storage in the sampled training sets (1/64 of sets).
+	shctBits := (1 << policy.SignatureBits) * 3 * cores
+	trainSets := 16384 / 64
+	trainBits := trainSets * 16 * (policy.SignatureBits + 1 + 5) // sig + outcome + core id
+	rows = append(rows, StorageRow{
+		Policy:    "SHiP",
+		PerApp:    fmt.Sprintf("2^14 x 3b SHCT + %d training sets", trainSets),
+		TotalBits: shctBits + trainBits,
+		Paper:     "65.875KB",
+	})
+
+	// ADAPT: the paper's §3.3 accounting — 8200 bits per application.
+	perApp := core.StorageBitsPerApp(core.DefaultMonitoredSets, core.DefaultArrayEntries)
+	rows = append(rows, StorageRow{
+		Policy:    "ADAPT",
+		PerApp:    fmt.Sprintf("%d bits (~1KB)", perApp),
+		TotalBits: perApp * cores,
+		Paper:     "24KB appx",
+	})
+	return rows
+}
+
+// Table2Table renders Table 2.
+func Table2Table() Table {
+	t := Table{
+		Title:  "Table 2 — hardware cost on a 16MB 16-way LLC, N=24 cores",
+		Note:   "computed from the implemented structures; paper figures alongside",
+		Header: []string{"policy", "per-app structure", "total (bytes)", "paper"},
+	}
+	for _, r := range Table2() {
+		t.Rows = append(t.Rows, []string{
+			r.Policy, r.PerApp, fmt.Sprintf("%d", r.TotalBits/8), r.Paper,
+		})
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Table7Result holds ADAPT's gains over TA-DRRIP per study under the five
+// multi-core metrics.
+type Table7Result struct {
+	// ByCores maps core count -> metric summary.
+	ByCores map[int]metrics.Summary
+}
+
+// Table7 reproduces §5.6: ADAPT_bp32 versus TA-DRRIP on every study,
+// evaluated under weighted speed-up, harmonic mean of normalized IPCs, and
+// the geometric/harmonic/arithmetic means of raw IPCs. The paper reports
+// gains on all metrics across all core counts (e.g. 16-core: +4.67% WS,
+// +6.66% normalized HM).
+func Table7(opt Options) Table7Result {
+	r := NewRunner(opt)
+	out := Table7Result{ByCores: map[int]metrics.Summary{}}
+	for _, cores := range []int{4, 8, 16, 20, 24} {
+		study, _ := workload.StudyByCores(cores)
+		runs := r.RunStudy(study, []PolicySpec{
+			Baseline,
+			{Key: "ADAPT_bp32", Policy: "adapt"},
+		})
+		out.ByCores[cores] = metrics.Summarize(
+			runs.PerWorkload("ADAPT_bp32"),
+			runs.PerWorkload(Baseline.Key),
+		)
+	}
+	return out
+}
+
+// Table renders Table 7.
+func (t7 Table7Result) Table() Table {
+	t := Table{
+		Title:  "Table 7 — ADAPT gains over TA-DRRIP under other multi-core metrics",
+		Note:   "paper row 16-core: WS +4.67%, NormHM +6.66%, GM +5.34%, HM +5.43%, AM +4.82%",
+		Header: []string{"metric", "4-core", "8-core", "16-core", "20-core", "24-core"},
+	}
+	get := func(f func(metrics.Summary) float64) []string {
+		row := []string{}
+		for _, cores := range []int{4, 8, 16, 20, 24} {
+			s, ok := t7.ByCores[cores]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%+.2f%%", f(s)))
+		}
+		return row
+	}
+	t.Rows = append(t.Rows,
+		append([]string{"Wt.Speed-up"}, get(func(s metrics.Summary) float64 { return s.WeightedSpeedupPct })...),
+		append([]string{"Norm. HM"}, get(func(s metrics.Summary) float64 { return s.NormalizedHMPct })...),
+		append([]string{"GM of IPCs"}, get(func(s metrics.Summary) float64 { return s.GMeanIPCPct })...),
+		append([]string{"HM of IPCs"}, get(func(s metrics.Summary) float64 { return s.HMeanIPCPct })...),
+		append([]string{"AM of IPCs"}, get(func(s metrics.Summary) float64 { return s.AMeanIPCPct })...),
+	)
+	return t
+}

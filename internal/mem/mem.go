@@ -1,0 +1,160 @@
+// Package mem models the main memory of the paper's Table 3: a DDR2 part
+// with 8 banks, 4KB rows, open-page policy, a 180-cycle row-hit latency and
+// a 340-cycle row-conflict latency, with permutation-based (XOR) page
+// interleaving per Zhang, Zhu & Zhang (MICRO 2000) to spread conflicting
+// rows across banks.
+//
+// Exactly as the paper states ("we use memory model for our study like [2]:
+// only row-hits and row-conflicts are modeled"), this is a timing model of
+// bank occupancy and row-buffer locality only — no command/bus scheduling.
+package mem
+
+import "fmt"
+
+// Config describes the memory system. Latencies are what a request waits
+// for its data; occupancies are how long the bank stays unavailable to the
+// next request. Row-buffer hits pipeline at the burst rate while the full
+// access latency is still observed end-to-end.
+type Config struct {
+	Banks              int    // number of DRAM banks (8)
+	RowBytes           int    // row-buffer size (4096)
+	BlockBytes         int    // cache-block size (64)
+	RowHitLatency      uint64 // cycles to data for an access hitting the open row (180)
+	RowConflictLatency uint64 // cycles to data when a different row is open (340)
+	RowHitOccupancy    uint64 // bank busy time for a row hit (burst transfer)
+	RowConflOccupancy  uint64 // bank busy time for precharge+activate+burst
+	XORMapping         bool   // permutation-based page interleaving
+}
+
+// Default returns the paper's Table 3 memory configuration.
+func Default() Config {
+	return Config{
+		Banks:              8,
+		RowBytes:           4096,
+		BlockBytes:         64,
+		RowHitLatency:      180,
+		RowConflictLatency: 340,
+		RowHitOccupancy:    20,
+		RowConflOccupancy:  160,
+		XORMapping:         true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("mem: banks must be a positive power of two, got %d", c.Banks)
+	}
+	if c.RowBytes <= 0 || c.BlockBytes <= 0 || c.RowBytes%c.BlockBytes != 0 {
+		return fmt.Errorf("mem: row (%d) must be a positive multiple of block (%d)", c.RowBytes, c.BlockBytes)
+	}
+	if c.RowHitLatency == 0 || c.RowConflictLatency < c.RowHitLatency {
+		return fmt.Errorf("mem: need 0 < rowHit (%d) <= rowConflict (%d)", c.RowHitLatency, c.RowConflictLatency)
+	}
+	if c.RowHitOccupancy == 0 || c.RowConflOccupancy < c.RowHitOccupancy {
+		return fmt.Errorf("mem: need 0 < hit occupancy (%d) <= conflict occupancy (%d)", c.RowHitOccupancy, c.RowConflOccupancy)
+	}
+	if c.RowHitOccupancy > c.RowHitLatency || c.RowConflOccupancy > c.RowConflictLatency {
+		return fmt.Errorf("mem: occupancies must not exceed latencies")
+	}
+	return nil
+}
+
+// Stats aggregates access counters.
+type Stats struct {
+	Accesses     uint64
+	RowHits      uint64
+	RowConflicts uint64
+	Reads        uint64
+	Writes       uint64
+	QueueCycles  uint64 // cycles requests spent waiting for a busy bank
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s *Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// DDR2 is the memory timing model. Not safe for concurrent use; a simulated
+// system is single-goroutine by design.
+type DDR2 struct {
+	cfg          Config
+	blocksPerRow uint64
+	bankMask     uint64
+	openRow      []uint64
+	hasOpen      []bool
+	busyUntil    []uint64
+	stats        Stats
+}
+
+// New builds the memory model, panicking on invalid configuration.
+func New(cfg Config) *DDR2 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DDR2{
+		cfg:          cfg,
+		blocksPerRow: uint64(cfg.RowBytes / cfg.BlockBytes),
+		bankMask:     uint64(cfg.Banks - 1),
+		openRow:      make([]uint64, cfg.Banks),
+		hasOpen:      make([]bool, cfg.Banks),
+		busyUntil:    make([]uint64, cfg.Banks),
+	}
+}
+
+// Config returns the model's configuration.
+func (m *DDR2) Config() Config { return m.cfg }
+
+// Stats returns the live counters.
+func (m *DDR2) Stats() *Stats { return &m.stats }
+
+// Map translates a block address to (bank, row). Consecutive rows interleave
+// across banks; with XOR mapping the bank index is permuted by the row
+// address so that power-of-two strides do not pile onto one bank.
+func (m *DDR2) Map(block uint64) (bank int, row uint64) {
+	rowID := block / m.blocksPerRow
+	b := rowID & m.bankMask
+	row = rowID / uint64(m.cfg.Banks)
+	if m.cfg.XORMapping {
+		b ^= row & m.bankMask
+	}
+	return int(b), row
+}
+
+// Access performs one memory access at time now, returning its completion
+// time (data availability) and whether it hit the open row. The bank is
+// occupied for the occupancy window only, so row-buffer hits pipeline at
+// the burst rate behind the first access's latency.
+func (m *DDR2) Access(now uint64, block uint64, write bool) (done uint64, rowHit bool) {
+	bank, row := m.Map(block)
+	start := now
+	if m.busyUntil[bank] > start {
+		m.stats.QueueCycles += m.busyUntil[bank] - start
+		start = m.busyUntil[bank]
+	}
+	rowHit = m.hasOpen[bank] && m.openRow[bank] == row
+	lat, busy := m.cfg.RowConflictLatency, m.cfg.RowConflOccupancy
+	if rowHit {
+		lat, busy = m.cfg.RowHitLatency, m.cfg.RowHitOccupancy
+		m.stats.RowHits++
+	} else {
+		m.stats.RowConflicts++
+	}
+	m.stats.Accesses++
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	m.openRow[bank] = row
+	m.hasOpen[bank] = true
+	done = start + lat
+	m.busyUntil[bank] = start + busy
+	return done, rowHit
+}

@@ -1,0 +1,173 @@
+// Package metrics implements the multi-programmed performance metrics the
+// paper reports: weighted speed-up, the harmonic mean of normalized IPCs
+// (which balances fairness and throughput, Luo et al. ISPASS 2001), and the
+// harmonic/geometric/arithmetic means of raw IPCs that Michaud (CAL 2013)
+// recommends as consistent throughput metrics — the five rows of Table 7 —
+// plus MPKI helpers for Figures 1, 4 and 5.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedSpeedup returns Σ IPC_shared[i] / IPC_alone[i]. The paper reports
+// policies as the ratio of their weighted speed-up to the baseline's, so the
+// constant factor (no division by n) cancels.
+func WeightedSpeedup(shared, alone []float64) float64 {
+	mustSameLen(shared, alone)
+	s := 0.0
+	for i := range shared {
+		s += safeDiv(shared[i], alone[i])
+	}
+	return s
+}
+
+// HMeanNormalized returns the harmonic mean of the per-application
+// normalized IPCs: n / Σ (IPC_alone[i] / IPC_shared[i]).
+func HMeanNormalized(shared, alone []float64) float64 {
+	mustSameLen(shared, alone)
+	den := 0.0
+	for i := range shared {
+		den += safeDiv(alone[i], shared[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(len(shared)) / den
+}
+
+// AMean returns the arithmetic mean.
+func AMean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// GMean returns the geometric mean. All inputs must be positive.
+func GMean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(x)))
+}
+
+// HMean returns the harmonic mean. All inputs must be positive.
+func HMean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		if v <= 0 {
+			return 0
+		}
+		s += 1 / v
+	}
+	return float64(len(x)) / s
+}
+
+// MPKI returns misses per kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(instructions)
+}
+
+// ReductionPct returns the percentage reduction from base to v: positive
+// when v improved (shrank) relative to base, as in Figures 1b/1c/4/5.
+func ReductionPct(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - v) / base
+}
+
+// Speedup returns v/base, the per-workload normalized metric of the
+// s-curves (Figures 3 and 8).
+func Speedup(v, base float64) float64 { return safeDiv(v, base) }
+
+// SCurve returns the values sorted ascending — the x-axis ordering of the
+// paper's s-curve figures.
+func SCurve(values []float64) []float64 {
+	out := make([]float64, len(values))
+	copy(out, values)
+	sort.Float64s(out)
+	return out
+}
+
+// Summary holds the five Table 7 aggregates for one policy across one
+// workload study, each expressed as a percentage gain over the baseline.
+type Summary struct {
+	WeightedSpeedupPct float64
+	NormalizedHMPct    float64
+	GMeanIPCPct        float64
+	HMeanIPCPct        float64
+	AMeanIPCPct        float64
+}
+
+// PerWorkload holds one workload's raw per-application measurements for one
+// policy.
+type PerWorkload struct {
+	SharedIPC []float64
+	AloneIPC  []float64
+}
+
+// Aggregates computes the five Table 7 metrics for this workload.
+func (w PerWorkload) Aggregates() (ws, hmNorm, gm, hm, am float64) {
+	return WeightedSpeedup(w.SharedIPC, w.AloneIPC),
+		HMeanNormalized(w.SharedIPC, w.AloneIPC),
+		GMean(w.SharedIPC),
+		HMean(w.SharedIPC),
+		AMean(w.SharedIPC)
+}
+
+// Summarize averages per-workload gains of a policy over the baseline, in
+// percent, across a study. The two slices are indexed by workload.
+func Summarize(policy, baseline []PerWorkload) Summary {
+	if len(policy) != len(baseline) {
+		panic(fmt.Sprintf("metrics: %d policy workloads vs %d baseline", len(policy), len(baseline)))
+	}
+	var gains [5][]float64
+	for i := range policy {
+		pw, ph, pg, phm, pa := policy[i].Aggregates()
+		bw, bh, bg, bhm, ba := baseline[i].Aggregates()
+		for j, pair := range [5][2]float64{{pw, bw}, {ph, bh}, {pg, bg}, {phm, bhm}, {pa, ba}} {
+			gains[j] = append(gains[j], 100*(safeDiv(pair[0], pair[1])-1))
+		}
+	}
+	return Summary{
+		WeightedSpeedupPct: AMean(gains[0]),
+		NormalizedHMPct:    AMean(gains[1]),
+		GMeanIPCPct:        AMean(gains[2]),
+		HMeanIPCPct:        AMean(gains[3]),
+		AMeanIPCPct:        AMean(gains[4]),
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: mismatched lengths %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestWeightedSpeedup(t *testing.T) {
+	shared := []float64{1, 2, 3}
+	alone := []float64{2, 2, 6}
+	if got := WeightedSpeedup(shared, alone); !almost(got, 0.5+1+0.5) {
+		t.Fatalf("weighted speedup = %v, want 2.0", got)
+	}
+}
+
+func TestWeightedSpeedupMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestHMeanNormalized(t *testing.T) {
+	shared := []float64{1, 1}
+	alone := []float64{2, 2}
+	// Each normalized IPC is 0.5 -> harmonic mean 0.5.
+	if got := HMeanNormalized(shared, alone); !almost(got, 0.5) {
+		t.Fatalf("HM of normalized IPCs = %v, want 0.5", got)
+	}
+}
+
+func TestMeansKnownValues(t *testing.T) {
+	x := []float64{1, 2, 4}
+	if got := AMean(x); !almost(got, 7.0/3) {
+		t.Fatalf("AMean = %v", got)
+	}
+	if got := GMean(x); !almost(got, 2) {
+		t.Fatalf("GMean = %v, want 2", got)
+	}
+	if got := HMean(x); !almost(got, 3/(1+0.5+0.25)) {
+		t.Fatalf("HMean = %v", got)
+	}
+}
+
+func TestMeansEmptyAndNonPositive(t *testing.T) {
+	if AMean(nil) != 0 || GMean(nil) != 0 || HMean(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+	if GMean([]float64{1, 0}) != 0 || HMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive inputs should yield 0")
+	}
+}
+
+func TestMeanInequalityProperty(t *testing.T) {
+	// For positive inputs: HM <= GM <= AM.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		for i, v := range raw {
+			x[i] = float64(v%1000) + 1
+		}
+		hm, gm, am := HMean(x), GMean(x), AMean(x)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(500, 1000000); !almost(got, 0.5) {
+		t.Fatalf("MPKI = %v, want 0.5", got)
+	}
+	if MPKI(5, 0) != 0 {
+		t.Fatal("MPKI with zero instructions should be 0")
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(10, 2.8); !almost(got, 72) {
+		t.Fatalf("reduction = %v, want 72 (the paper's art example)", got)
+	}
+	if got := ReductionPct(10, 14); !almost(got, -40) {
+		t.Fatalf("reduction = %v, want -40 (cactusADM-style increase)", got)
+	}
+	if ReductionPct(0, 5) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestSCurveSortedCopy(t *testing.T) {
+	in := []float64{1.05, 0.99, 1.2, 1.0}
+	out := SCurve(in)
+	if !sort.Float64sAreSorted(out) {
+		t.Fatal("SCurve output not sorted")
+	}
+	if in[0] != 1.05 {
+		t.Fatal("SCurve mutated its input")
+	}
+}
+
+func TestSummarizeGains(t *testing.T) {
+	alone := []float64{1, 1}
+	base := []PerWorkload{{SharedIPC: []float64{0.5, 0.5}, AloneIPC: alone}}
+	pol := []PerWorkload{{SharedIPC: []float64{0.55, 0.55}, AloneIPC: alone}}
+	s := Summarize(pol, base)
+	// Every metric improves by exactly 10%.
+	for name, got := range map[string]float64{
+		"ws": s.WeightedSpeedupPct, "hm": s.NormalizedHMPct,
+		"gm": s.GMeanIPCPct, "hmipc": s.HMeanIPCPct, "am": s.AMeanIPCPct,
+	} {
+		if math.Abs(got-10) > 1e-6 {
+			t.Fatalf("%s gain = %v, want 10", name, got)
+		}
+	}
+}
+
+func TestSummarizeMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Summarize did not panic")
+		}
+	}()
+	Summarize([]PerWorkload{}, []PerWorkload{{}})
+}
+
+func TestAggregates(t *testing.T) {
+	w := PerWorkload{SharedIPC: []float64{1, 2}, AloneIPC: []float64{2, 2}}
+	ws, hm, gm, hmi, am := w.Aggregates()
+	if !almost(ws, 1.5) {
+		t.Fatalf("ws = %v", ws)
+	}
+	if !almost(hm, 2/(2.0/1+2.0/2)) {
+		t.Fatalf("hm = %v", hm)
+	}
+	if !almost(gm, math.Sqrt(2)) || !almost(hmi, 2/(1+0.5)) || !almost(am, 1.5) {
+		t.Fatalf("gm/hmi/am = %v/%v/%v", gm, hmi, am)
+	}
+}

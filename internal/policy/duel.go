@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"repro/internal/cache"
+	"repro/internal/rng"
+)
+
+// Set-dueling machinery shared by DRRIP and TA-DRRIP.
+//
+// A small number of "leader" sets is dedicated to each competing insertion
+// policy; a saturating PSEL counter tallies their demand misses (misses in
+// SRRIP leaders increment, misses in BRRIP leaders decrement) and the
+// remaining "follower" sets adopt whichever policy the counter favours.
+// The paper's description (§2): 10-bit counter, switching threshold 512,
+// 64 (or 128) dedicated sets per policy.
+
+// Leader-set roles.
+const (
+	follower    = 0
+	leaderSRRIP = 1
+	leaderBRRIP = 2
+)
+
+// duelMap assigns roles to sets. For DRRIP the owner is always 0; for
+// TA-DRRIP each thread has its own leader sets and PSEL.
+type duelMap struct {
+	role  []uint8  // per set: follower/leaderSRRIP/leaderBRRIP
+	owner []uint16 // per set: owning thread for leader sets
+}
+
+// effectiveSD resolves the leader-set count per policy per thread. The
+// default preserves the paper's *fraction* of dedicated sets (64 of 16384 =
+// 1/256 per policy) so that scaled-down caches duel with the same
+// signal-to-noise ratio as the full-size machine; explicitly requested
+// counts are honoured up to the physical cap of a quarter of all sets per
+// (thread, policy) pair.
+func effectiveSD(sets, threads, sd int) int {
+	if sd <= 0 {
+		sd = sets / 256
+		if sd < 1 {
+			sd = 1
+		}
+		if sd > DefaultSD {
+			sd = DefaultSD
+		}
+	}
+	physical := sets / (4 * threads)
+	if physical < 1 {
+		physical = 1
+	}
+	if sd > physical {
+		sd = physical
+	}
+	return sd
+}
+
+// newDuelMap dedicates sd leader sets per policy to each of `threads`
+// threads, sampled deterministically from seed.
+func newDuelMap(sets, threads, sd int, seed uint64) *duelMap {
+	m := &duelMap{role: make([]uint8, sets), owner: make([]uint16, sets)}
+	src := rng.New(seed ^ 0xA5A5A5A55A5A5A5A)
+	need := 2 * threads * sd
+	chosen := src.Sample(sets, need)
+	// Interleave assignment so each thread gets a spread of set indices.
+	src.Shuffle(len(chosen), func(i, j int) { chosen[i], chosen[j] = chosen[j], chosen[i] })
+	k := 0
+	for t := 0; t < threads; t++ {
+		for i := 0; i < sd; i++ {
+			m.role[chosen[k]] = leaderSRRIP
+			m.owner[chosen[k]] = uint16(t)
+			k++
+			m.role[chosen[k]] = leaderBRRIP
+			m.owner[chosen[k]] = uint16(t)
+			k++
+		}
+	}
+	return m
+}
+
+// psel is a saturating set-dueling selector.
+type psel struct {
+	value     int
+	max       int
+	threshold int
+}
+
+func newPSEL(bits int) psel {
+	if bits <= 0 {
+		bits = PSELBits
+	}
+	maxVal := 1<<bits - 1
+	return psel{value: 0, max: maxVal, threshold: 1 << (bits - 1)}
+}
+
+func (p *psel) srripMiss() {
+	if p.value < p.max {
+		p.value++
+	}
+}
+
+func (p *psel) brripMiss() {
+	if p.value > 0 {
+		p.value--
+	}
+}
+
+// preferBRRIP reports whether followers should use BRRIP (SRRIP has been
+// missing more).
+func (p *psel) preferBRRIP() bool { return p.value >= p.threshold }
+
+// DRRIP duels SRRIP against BRRIP with a single global PSEL. Table 3 uses
+// DRRIP at the private L2s, where a single selector per cache is exactly the
+// original proposal.
+type DRRIP struct {
+	Engine
+	duel *duelMap
+	sel  psel
+	eps  []EpsilonCounter
+}
+
+// NewDRRIP builds a DRRIP policy. Options used: Seed, SD, PSEL width via
+// opt (zero values select the paper's 64 sets and 10 bits).
+func NewDRRIP(g cache.Geometry, opt Options) *DRRIP {
+	sd := effectiveSD(g.Sets, 1, opt.SD)
+	eps := make([]EpsilonCounter, g.Cores)
+	for i := range eps {
+		eps[i] = NewEpsilonCounter(BRRIPEpsilonPeriod)
+	}
+	return &DRRIP{
+		Engine: NewEngine(g),
+		duel:   newDuelMap(g.Sets, 1, sd, opt.Seed),
+		sel:    newPSEL(PSELBits),
+		eps:    eps,
+	}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (p *DRRIP) Name() string { return "drrip" }
+
+// OnHit promotes demand hits.
+func (p *DRRIP) OnHit(a *cache.Access, set, way int) {
+	if a.Demand {
+		p.Promote(set, way)
+	}
+}
+
+// OnMiss updates the dueling selector on demand misses in leader sets.
+func (p *DRRIP) OnMiss(a *cache.Access, set int) {
+	if !a.Demand {
+		return
+	}
+	switch p.duel.role[set] {
+	case leaderSRRIP:
+		p.sel.srripMiss()
+	case leaderBRRIP:
+		p.sel.brripMiss()
+	}
+}
+
+// FillDecision always allocates.
+func (p *DRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
+	return p.Victim(set), true
+}
+
+// OnFill applies the set's policy: leader sets use their dedicated policy,
+// followers use the PSEL winner.
+func (p *DRRIP) OnFill(a *cache.Access, set, way int) {
+	if !a.Demand {
+		p.SetRRPV(set, way, NonDemandRRPV(a))
+		return
+	}
+	useBRRIP := false
+	switch p.duel.role[set] {
+	case leaderSRRIP:
+		useBRRIP = false
+	case leaderBRRIP:
+		useBRRIP = true
+	default:
+		useBRRIP = p.sel.preferBRRIP()
+	}
+	p.SetRRPV(set, way, p.insertValue(a.Core, useBRRIP))
+}
+
+func (p *DRRIP) insertValue(core int, useBRRIP bool) uint8 {
+	if !useBRRIP {
+		return MaxRRPV - 1
+	}
+	if p.eps[core].Fire() {
+		return MaxRRPV - 1
+	}
+	return MaxRRPV
+}
+
+// OnEvict implements cache.ReplacementPolicy.
+func (p *DRRIP) OnEvict(set, way int, ev cache.EvictedLine) { p.Invalidate(set, way) }
+
+// PreferBRRIP exposes the selector state for tests.
+func (p *DRRIP) PreferBRRIP() bool { return p.sel.preferBRRIP() }

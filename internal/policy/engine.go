@@ -1,0 +1,103 @@
+package policy
+
+import "repro/internal/cache"
+
+// Engine is the shared mechanical core of every RRIP-family policy: 2-bit
+// re-reference prediction values per line, hit promotion to 0, and victim
+// selection by searching for MaxRRPV with aging. Policies embed it and
+// differ only in the insertion value they choose per fill. The ADAPT policy
+// in internal/core builds on it too, which is why it is exported.
+//
+// The engine also tracks line validity (learned from OnFill/OnEvict
+// callbacks) so that invalid ways are consumed before any valid line is
+// victimised, matching real hardware fill behaviour.
+type Engine struct {
+	geom  cache.Geometry
+	rrpv  []uint8
+	valid []bool
+}
+
+// NewEngine builds an engine for the given cache geometry.
+func NewEngine(g cache.Geometry) Engine {
+	n := g.Sets * g.Ways
+	return Engine{geom: g, rrpv: make([]uint8, n), valid: make([]bool, n)}
+}
+
+func (e *Engine) idx(set, way int) int { return set*e.geom.Ways + way }
+
+// Promote sets the line to near-immediate re-reference (RRPV 0).
+func (e *Engine) Promote(set, way int) { e.rrpv[e.idx(set, way)] = 0 }
+
+// SetRRPV records the insertion value of a fresh fill and marks it valid.
+func (e *Engine) SetRRPV(set, way int, v uint8) {
+	i := e.idx(set, way)
+	e.rrpv[i] = v
+	e.valid[i] = true
+}
+
+// Invalidate marks a way empty (called from OnEvict).
+func (e *Engine) Invalidate(set, way int) { e.valid[e.idx(set, way)] = false }
+
+// RRPVAt exposes a line's current RRPV (tests and diagnostics).
+func (e *Engine) RRPVAt(set, way int) uint8 { return e.rrpv[e.idx(set, way)] }
+
+// Victim returns the way to replace in set: the lowest-indexed invalid way
+// if one exists, otherwise the lowest-indexed way with RRPV == MaxRRPV,
+// aging the whole set (saturating increment) until one appears. Aging
+// terminates within MaxRRPV rounds by construction.
+func (e *Engine) Victim(set int) int {
+	base := set * e.geom.Ways
+	for w := 0; w < e.geom.Ways; w++ {
+		if !e.valid[base+w] {
+			return w
+		}
+	}
+	for {
+		for w := 0; w < e.geom.Ways; w++ {
+			if e.rrpv[base+w] == MaxRRPV {
+				return w
+			}
+		}
+		for w := 0; w < e.geom.Ways; w++ {
+			e.rrpv[base+w]++
+		}
+	}
+}
+
+// NonDemandRRPV is the shared insertion rule for prefetch and write-back
+// fills (see the package comment and DESIGN.md §5).
+func NonDemandRRPV(a *cache.Access) uint8 {
+	if a.Writeback {
+		return writebackRRPV
+	}
+	return prefetchRRPV
+}
+
+// EpsilonCounter implements the hardware-style 1-in-N event selector used
+// for BRRIP's bimodal throttle and ADAPT's probabilistic insertions: a small
+// counter that wraps every N events, firing once per period. This is how the
+// proposals implement "1/16th" and "1/32nd" insertions — with counters, not
+// random numbers — and modelling it the same way keeps runs deterministic.
+type EpsilonCounter struct {
+	period uint32
+	count  uint32
+}
+
+// NewEpsilonCounter returns a counter firing once every period events.
+func NewEpsilonCounter(period uint32) EpsilonCounter {
+	if period == 0 {
+		panic("policy: EpsilonCounter period must be positive")
+	}
+	return EpsilonCounter{period: period}
+}
+
+// Fire advances the counter and reports true once every period calls
+// (on the first call of each period, so behaviour is defined from the start).
+func (c *EpsilonCounter) Fire() bool {
+	hit := c.count == 0
+	c.count++
+	if c.count == c.period {
+		c.count = 0
+	}
+	return hit
+}

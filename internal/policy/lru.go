@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"repro/internal/cache"
+
+	"repro/internal/rng"
+)
+
+// LRU is true least-recently-used replacement: every fill and every demand
+// hit moves the line to MRU; the victim is the least recently touched line.
+// The paper's Figure 3 uses it as the classic baseline that thrashes when
+// working sets exceed the cache ("the MRU insertions of thrashing
+// applications pollute the cache").
+type LRU struct {
+	geom  cache.Geometry
+	stamp []uint64
+	valid []bool
+	clock uint64
+}
+
+// NewLRU builds an LRU policy for the given geometry.
+func NewLRU(g cache.Geometry) *LRU {
+	n := g.Sets * g.Ways
+	return &LRU{geom: g, stamp: make([]uint64, n), valid: make([]bool, n)}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (p *LRU) Name() string { return "lru" }
+
+func (p *LRU) idx(set, way int) int { return set*p.geom.Ways + way }
+
+// OnHit promotes the line to MRU. Only demand references update recency,
+// matching the paper's footnote 4.
+func (p *LRU) OnHit(a *cache.Access, set, way int) {
+	if !a.Demand {
+		return
+	}
+	p.clock++
+	p.stamp[p.idx(set, way)] = p.clock
+}
+
+// OnMiss implements cache.ReplacementPolicy (no dueling state in LRU).
+func (p *LRU) OnMiss(a *cache.Access, set int) {}
+
+// FillDecision always allocates; LRU has no bypass opportunity because every
+// insertion is at MRU (paper §5.3).
+func (p *LRU) FillDecision(a *cache.Access, set int) (int, bool) {
+	base := set * p.geom.Ways
+	victim, oldest := -1, uint64(0)
+	for w := 0; w < p.geom.Ways; w++ {
+		i := base + w
+		if !p.valid[i] {
+			return w, true
+		}
+		if victim == -1 || p.stamp[i] < oldest {
+			victim, oldest = w, p.stamp[i]
+		}
+	}
+	return victim, true
+}
+
+// OnFill installs the new line at MRU.
+func (p *LRU) OnFill(a *cache.Access, set, way int) {
+	p.clock++
+	i := p.idx(set, way)
+	p.stamp[i] = p.clock
+	p.valid[i] = true
+}
+
+// OnEvict implements cache.ReplacementPolicy.
+func (p *LRU) OnEvict(set, way int, ev cache.EvictedLine) {
+	p.valid[p.idx(set, way)] = false
+}
+
+// StackPosition returns the recency rank of (set, way): 0 = MRU. Exposed for
+// tests and for utility-monitor style analyses.
+func (p *LRU) StackPosition(set, way int) int {
+	base := set * p.geom.Ways
+	me := p.stamp[p.idx(set, way)]
+	rank := 0
+	for w := 0; w < p.geom.Ways; w++ {
+		if p.valid[base+w] && p.stamp[base+w] > me {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Random replacement: victim chosen uniformly among ways (invalid first).
+// Not part of the paper's comparison; kept as a sanity baseline for tests
+// and ablations.
+type Random struct {
+	geom  cache.Geometry
+	valid []bool
+	src   *rng.Source
+}
+
+// NewRandom builds a random-replacement policy with a deterministic seed.
+func NewRandom(g cache.Geometry, seed uint64) *Random {
+	return &Random{geom: g, valid: make([]bool, g.Sets*g.Ways), src: rng.New(seed ^ 0x9E3779B97F4A7C15)}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (p *Random) Name() string { return "random" }
+
+// OnHit implements cache.ReplacementPolicy.
+func (p *Random) OnHit(a *cache.Access, set, way int) {}
+
+// OnMiss implements cache.ReplacementPolicy.
+func (p *Random) OnMiss(a *cache.Access, set int) {}
+
+// FillDecision picks an invalid way if present, else a uniformly random way.
+func (p *Random) FillDecision(a *cache.Access, set int) (int, bool) {
+	base := set * p.geom.Ways
+	for w := 0; w < p.geom.Ways; w++ {
+		if !p.valid[base+w] {
+			return w, true
+		}
+	}
+	return p.src.Intn(p.geom.Ways), true
+}
+
+// OnFill implements cache.ReplacementPolicy.
+func (p *Random) OnFill(a *cache.Access, set, way int) {
+	p.valid[set*p.geom.Ways+way] = true
+}
+
+// OnEvict implements cache.ReplacementPolicy.
+func (p *Random) OnEvict(set, way int, ev cache.EvictedLine) {
+	p.valid[set*p.geom.Ways+way] = false
+}

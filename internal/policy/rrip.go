@@ -1,0 +1,100 @@
+package policy
+
+import "repro/internal/cache"
+
+// SRRIP implements Static Re-Reference Interval Prediction (Jaleel et al.,
+// ISCA 2010): every demand fill is inserted with RRPV MaxRRPV-1 ("long"),
+// demand hits promote to 0 ("near-immediate"), victims are lines with RRPV
+// MaxRRPV. SRRIP handles mixed and scan access patterns but thrashes on
+// working sets larger than the cache — the failure mode ADAPT targets.
+type SRRIP struct {
+	Engine
+}
+
+// NewSRRIP builds an SRRIP policy.
+func NewSRRIP(g cache.Geometry) *SRRIP {
+	return &SRRIP{Engine: NewEngine(g)}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// OnHit promotes demand hits to RRPV 0.
+func (p *SRRIP) OnHit(a *cache.Access, set, way int) {
+	if a.Demand {
+		p.Promote(set, way)
+	}
+}
+
+// OnMiss implements cache.ReplacementPolicy.
+func (p *SRRIP) OnMiss(a *cache.Access, set int) {}
+
+// FillDecision always allocates with the engine's victim.
+func (p *SRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
+	return p.Victim(set), true
+}
+
+// OnFill inserts demand fills at MaxRRPV-1.
+func (p *SRRIP) OnFill(a *cache.Access, set, way int) {
+	if a.Demand {
+		p.SetRRPV(set, way, MaxRRPV-1)
+		return
+	}
+	p.SetRRPV(set, way, NonDemandRRPV(a))
+}
+
+// OnEvict implements cache.ReplacementPolicy.
+func (p *SRRIP) OnEvict(set, way int, ev cache.EvictedLine) { p.Invalidate(set, way) }
+
+// BRRIP implements Bimodal RRIP: demand fills are inserted with the distant
+// value MaxRRPV, except one fill in BRRIPEpsilonPeriod which is inserted
+// with MaxRRPV-1. This preserves a trickle of the working set in the cache
+// and is the policy of choice for thrashing applications. The bimodal
+// throttle is a per-core counter, as in hardware.
+type BRRIP struct {
+	Engine
+	eps []EpsilonCounter
+}
+
+// NewBRRIP builds a BRRIP policy.
+func NewBRRIP(g cache.Geometry) *BRRIP {
+	eps := make([]EpsilonCounter, g.Cores)
+	for i := range eps {
+		eps[i] = NewEpsilonCounter(BRRIPEpsilonPeriod)
+	}
+	return &BRRIP{Engine: NewEngine(g), eps: eps}
+}
+
+// Name implements cache.ReplacementPolicy.
+func (p *BRRIP) Name() string { return "brrip" }
+
+// OnHit promotes demand hits to RRPV 0.
+func (p *BRRIP) OnHit(a *cache.Access, set, way int) {
+	if a.Demand {
+		p.Promote(set, way)
+	}
+}
+
+// OnMiss implements cache.ReplacementPolicy.
+func (p *BRRIP) OnMiss(a *cache.Access, set int) {}
+
+// FillDecision always allocates with the engine's victim.
+func (p *BRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
+	return p.Victim(set), true
+}
+
+// OnFill inserts demand fills bimodally (1/32 at long, rest at distant).
+func (p *BRRIP) OnFill(a *cache.Access, set, way int) {
+	if !a.Demand {
+		p.SetRRPV(set, way, NonDemandRRPV(a))
+		return
+	}
+	v := uint8(MaxRRPV)
+	if p.eps[a.Core].Fire() {
+		v = MaxRRPV - 1
+	}
+	p.SetRRPV(set, way, v)
+}
+
+// OnEvict implements cache.ReplacementPolicy.
+func (p *BRRIP) OnEvict(set, way int, ev cache.EvictedLine) { p.Invalidate(set, way) }

@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with distinct seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 16, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(9)
+	for _, n := range []uint64{1, 5, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared sanity check over 16 buckets; loose 99.9% bound.
+	s := New(123)
+	const buckets, draws = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom, p=0.001 critical value is 37.70.
+	if chi2 > 37.70 {
+		t.Fatalf("chi-squared %.2f exceeds 37.70; distribution looks biased: %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctSorted(t *testing.T) {
+	s := New(3)
+	for trial := 0; trial < 100; trial++ {
+		out := s.Sample(16384, 40)
+		if len(out) != 40 {
+			t.Fatalf("Sample returned %d values, want 40", len(out))
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				t.Fatalf("Sample output not strictly ascending: %v", out)
+			}
+		}
+		for _, v := range out {
+			if v < 0 || v >= 16384 {
+				t.Fatalf("Sample value %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestSampleFullRange(t *testing.T) {
+	s := New(4)
+	out := s.Sample(10, 10)
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("Sample(10,10) = %v, want identity permutation sorted", out)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestForkDecorrelated(t *testing.T) {
+	s := New(77)
+	f := s.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked stream collides with parent %d/1000 times", same)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %.4f too far from 1", variance)
+	}
+}
+
+func TestMul128AgainstBig(t *testing.T) {
+	// Property: mul128 must agree with the schoolbook decomposition.
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		// Verify via 32-bit limbs assembled with math/bits-free arithmetic.
+		a0, a1 := a&0xFFFFFFFF, a>>32
+		b0, b1 := b&0xFFFFFFFF, b>>32
+		p00 := a0 * b0
+		p01 := a0 * b1
+		p10 := a1 * b0
+		p11 := a1 * b1
+		mid := p01 + p10
+		carryMid := uint64(0)
+		if mid < p01 {
+			carryMid = 1 << 32
+		}
+		wantLo := p00 + (mid << 32)
+		carryLo := uint64(0)
+		if wantLo < p00 {
+			carryLo = 1
+		}
+		wantHi := p11 + (mid >> 32) + carryMid + carryLo
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleAllPermutationsReachable(t *testing.T) {
+	// With 3 elements there are 6 permutations; all should appear.
+	seen := make(map[[3]int]bool)
+	s := New(99)
+	for i := 0; i < 600; i++ {
+		arr := [3]int{0, 1, 2}
+		s.Shuffle(3, func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+		seen[arr] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("only %d/6 permutations observed", len(seen))
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"testing"
+
+	adaptcore "repro/internal/core"
+)
+
+// adaptOf extracts the ADAPT policy attached to a system's LLC.
+func adaptOf(t *testing.T, s *System) *adaptcore.ADAPT {
+	t.Helper()
+	ad, ok := s.LLC().Policy().(*adaptcore.ADAPT)
+	if !ok {
+		t.Fatalf("LLC policy is %T, want *core.ADAPT", s.LLC().Policy())
+	}
+	return ad
+}

@@ -1,0 +1,192 @@
+package sim
+
+import "repro/internal/metrics"
+
+// AppResult is one application's measured behaviour over the measurement
+// window.
+type AppResult struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	// L2MPKI is L2 demand misses (= LLC demand accesses) per kilo
+	// instruction, the intensity metric of Tables 4/5.
+	L2MPKI float64
+	// LLCMPKI is LLC demand misses per kilo instruction, the per-app metric
+	// of Figures 1b/1c/4/5.
+	LLCMPKI float64
+
+	LLCDemandAccesses uint64
+	LLCDemandMisses   uint64
+	LLCBypasses       uint64
+}
+
+// Result is one workload run.
+type Result struct {
+	Apps []AppResult
+	// DRAMRowHitRate and ArbiterMeanWait summarise the substrate's
+	// behaviour (diagnostics).
+	DRAMRowHitRate float64
+}
+
+// IPCs returns the per-app shared-mode IPC vector.
+func (r Result) IPCs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.IPC
+	}
+	return out
+}
+
+// coreHeap is a binary min-heap of core indices ordered by core clock.
+type coreHeap struct {
+	clock []uint64
+	idx   []int
+}
+
+func (h *coreHeap) push(clock uint64, idx int) {
+	h.clock = append(h.clock, clock)
+	h.idx = append(h.idx, idx)
+	i := len(h.clock) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.clock[p] <= h.clock[i] {
+			break
+		}
+		h.clock[p], h.clock[i] = h.clock[i], h.clock[p]
+		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
+		i = p
+	}
+}
+
+func (h *coreHeap) pop() (uint64, int) {
+	clock, idx := h.clock[0], h.idx[0]
+	n := len(h.clock) - 1
+	h.clock[0], h.idx[0] = h.clock[n], h.idx[n]
+	h.clock, h.idx = h.clock[:n], h.idx[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.clock[l] < h.clock[m] {
+			m = l
+		}
+		if r < n && h.clock[r] < h.clock[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.clock[i], h.clock[m] = h.clock[m], h.clock[i]
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+	return clock, idx
+}
+
+// runUntilRetired advances cores in global-clock order until each has
+// retired at least target instructions. If freezeCycles/freezeInstr are
+// non-nil, a core's cycle count and retired-instruction count are recorded
+// the first time it crosses the target; cores keep running (to preserve
+// interference) until every core has crossed.
+func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint64) {
+	h := &coreHeap{}
+	remaining := 0
+	done := make([]bool, len(s.cores))
+	record := func(i int) {
+		if freezeCycles != nil {
+			freezeCycles[i] = s.cores[i].Clock()
+		}
+		if freezeInstr != nil {
+			freezeInstr[i] = s.cores[i].Retired()
+		}
+	}
+	for i, c := range s.cores {
+		if c.Retired() >= target {
+			done[i] = true
+			record(i)
+			continue
+		}
+		remaining++
+		h.push(c.Clock(), i)
+	}
+	// Batch: once a core is the globally earliest, let it run until its
+	// clock passes the next-earliest core (bounded), which cuts heap
+	// traffic by an order of magnitude without reordering shared-resource
+	// accesses beyond what the one-op granularity already allows.
+	const maxBatch = 64
+	for remaining > 0 {
+		_, i := h.pop()
+		c := s.cores[i]
+		limit := ^uint64(0)
+		if len(h.clock) > 0 {
+			limit = h.clock[0]
+		}
+		var clock uint64
+		for steps := 0; ; steps++ {
+			clock = c.Step()
+			if !done[i] && c.Retired() >= target {
+				done[i] = true
+				remaining--
+				record(i)
+			}
+			if clock > limit || steps >= maxBatch || remaining == 0 {
+				break
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		h.push(clock, i)
+	}
+}
+
+// Run simulates warmup instructions per application (policy and cache state
+// learn, statistics discarded) followed by a measured window of measure
+// instructions per application, and returns the per-application results.
+// Applications that reach their measurement target keep executing until the
+// last one finishes, exactly as the paper re-executes finished applications
+// to preserve contention.
+func (s *System) Run(warmup, measure uint64) Result {
+	if warmup > 0 {
+		s.runUntilRetired(warmup, nil, nil)
+	}
+	// Reset statistics at the warm-up boundary; microarchitectural state
+	// (cache contents, policy learning, in-flight misses) carries over.
+	startCycles := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		c.ResetStats()
+		startCycles[i] = c.Clock()
+		s.l1[i].Stats().Reset()
+		s.l2[i].Stats().Reset()
+	}
+	s.llc.Stats().Reset()
+	s.dram.Stats().Reset()
+	s.arb.ResetStats()
+
+	freezeCycles := make([]uint64, len(s.cores))
+	freezeInstr := make([]uint64, len(s.cores))
+	s.runUntilRetired(measure, freezeCycles, freezeInstr)
+
+	res := Result{Apps: make([]AppResult, len(s.cores))}
+	llcStats := s.llc.Stats()
+	for i := range s.cores {
+		cycles := freezeCycles[i] - startCycles[i]
+		instr := freezeInstr[i] // retired count at the freeze point
+		app := AppResult{
+			Instructions:      instr,
+			Cycles:            cycles,
+			LLCDemandAccesses: llcStats.DemandAccesses[i],
+			LLCDemandMisses:   llcStats.DemandMisses[i],
+			LLCBypasses:       llcStats.Bypasses[i],
+		}
+		if cycles > 0 {
+			app.IPC = float64(instr) / float64(cycles)
+		}
+		app.L2MPKI = metrics.MPKI(llcStats.DemandAccesses[i], instr)
+		app.LLCMPKI = metrics.MPKI(llcStats.DemandMisses[i], instr)
+		res.Apps[i] = app
+	}
+	res.DRAMRowHitRate = s.dram.Stats().RowHitRate()
+	return res
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/bench"
+	"repro/internal/cache"
+	_ "repro/internal/core" // registers the "adapt" and "adapt-ins" policies
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// System is one simulated machine running one multi-programmed workload.
+type System struct {
+	cfg   Config
+	gens  []trace.Generator
+	cores []*cpu.Core
+
+	l1  []*cache.Cache
+	l2  []*cache.Cache
+	llc *cache.Cache
+
+	dram *mem.DDR2
+	arb  *arbiter.VPC
+
+	l2MSHR  []*cache.TimedPool
+	l2WB    []*cache.TimedPool
+	llcMSHR *cache.TimedPool
+	llcWB   *cache.TimedPool
+
+	// Scratch access records, reused across calls so that the policy
+	// interface calls do not force a heap allocation per cache level per
+	// memory reference. The simulator is single-goroutine by contract.
+	scratchL1, scratchL2, scratchLLC, scratchWB cache.Access
+}
+
+// New builds a system from a config and one generator per core.
+func New(cfg Config, gens []trace.Generator) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(gens) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d generators for %d cores", len(gens), cfg.Cores))
+	}
+
+	llcGeom := cache.Geometry{Sets: cfg.LLCSets, Ways: cfg.LLCWays, Cores: cfg.Cores}
+	llcPol, err := policy.New(cfg.LLCPolicy, llcGeom, cfg.PolicyOpt)
+	if err != nil {
+		panic(err)
+	}
+
+	s := &System{
+		cfg:  cfg,
+		gens: gens,
+		llc: cache.New(cache.Config{
+			Name:       "llc",
+			Geometry:   llcGeom,
+			BlockBytes: cfg.BlockBytes,
+			HitLatency: cfg.LLCLatency,
+		}, llcPol),
+		dram:    mem.New(cfg.Mem),
+		arb:     arbiter.New(cfg.Arb),
+		llcMSHR: cache.NewTimedPool(cfg.LLCMSHRs),
+		llcWB:   cache.NewTimedPool(cfg.LLCWBEntries),
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		l1Geom := cache.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, Cores: 1}
+		s.l1 = append(s.l1, cache.New(cache.Config{
+			Name:       fmt.Sprintf("l1-%d", i),
+			Geometry:   l1Geom,
+			BlockBytes: cfg.BlockBytes,
+			HitLatency: cfg.L1Latency,
+		}, policy.NewLRU(l1Geom)))
+
+		l2Geom := cache.Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, Cores: 1}
+		l2Pol, err := policy.New(cfg.L2Policy, l2Geom, policy.Options{Seed: cfg.Seed + uint64(i)*977})
+		if err != nil {
+			panic(err)
+		}
+		s.l2 = append(s.l2, cache.New(cache.Config{
+			Name:       fmt.Sprintf("l2-%d", i),
+			Geometry:   l2Geom,
+			BlockBytes: cfg.BlockBytes,
+			HitLatency: cfg.L2Latency,
+		}, l2Pol))
+
+		s.l2MSHR = append(s.l2MSHR, cache.NewTimedPool(cfg.L2MSHRs))
+		s.l2WB = append(s.l2WB, cache.NewTimedPool(cfg.L2WBEntries))
+
+		s.cores = append(s.cores, cpu.New(cpu.Config{
+			ID:             i,
+			Width:          cfg.CPUWidth,
+			ROB:            cfg.CPUROB,
+			MaxOutstanding: cfg.CPUMaxOutstanding,
+		}, gens[i], s))
+	}
+	return s
+}
+
+// NewFromSpecs builds a system running the named benchmark models, one per
+// core, with disjoint address regions and per-core decorrelated seeds.
+func NewFromSpecs(cfg Config, specs []bench.Spec) *System {
+	geom := bench.Geometry{
+		LLCSets:    cfg.LLCSets,
+		L2Blocks:   cfg.L2Sets * cfg.L2Ways,
+		BlockBytes: cfg.BlockBytes,
+	}
+	gens := make([]trace.Generator, len(specs))
+	for i, sp := range specs {
+		gens[i] = sp.Generator(geom, uint64(i+1)<<40, cfg.Seed+uint64(i)*7919)
+	}
+	return New(cfg, gens)
+}
+
+// NewFromNames is NewFromSpecs with benchmark names.
+func NewFromNames(cfg Config, names []string) *System {
+	specs := make([]bench.Spec, len(names))
+	for i, n := range names {
+		specs[i] = bench.MustByName(n)
+	}
+	return NewFromSpecs(cfg, specs)
+}
+
+// LLC exposes the shared cache (experiments inspect policy state).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// L2 exposes core i's private L2.
+func (s *System) L2(i int) *cache.Cache { return s.l2[i] }
+
+// DRAM exposes the memory model.
+func (s *System) DRAM() *mem.DDR2 { return s.dram }
+
+// Arbiter exposes the VPC arbiter.
+func (s *System) Arbiter() *arbiter.VPC { return s.arb }
+
+// Access implements cpu.MemSystem: one memory reference through the
+// hierarchy. It returns the completion time of the reference.
+func (s *System) Access(core int, now uint64, addr uint64, write bool, pc uint64) uint64 {
+	return s.access(core, now, addr, write, pc, true)
+}
+
+func (s *System) access(core int, now uint64, block uint64, write bool, pc uint64, demand bool) uint64 {
+	// L1 lookup.
+	s.scratchL1 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r1 := s.l1[core].Access(&s.scratchL1)
+	if r1.EvictedValid && r1.Evicted.Dirty {
+		s.writebackToL2(core, r1.Evicted.Block, now)
+	}
+	if r1.Hit {
+		if write {
+			return now + 1 // store buffer absorbs the hit
+		}
+		return now + s.cfg.L1Latency
+	}
+
+	// Next-line prefetch on demand L1 misses (Table 3's L1 prefetcher).
+	// Fire-and-forget: it perturbs cache state and bank occupancy but the
+	// demand access does not wait for it.
+	if demand && s.cfg.NextLinePrefetch {
+		s.access(core, now, block+1, false, pc, false)
+	}
+
+	// L2 lookup.
+	t2 := now + s.cfg.L1Latency
+	s.scratchL2 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r2 := s.l2[core].Access(&s.scratchL2)
+	if r2.EvictedValid && r2.Evicted.Dirty {
+		s.writebackToLLC(core, r2.Evicted.Block, t2)
+	}
+	if r2.Hit {
+		return t2 + s.cfg.L2Latency
+	}
+
+	// L2 miss: through the MSHRs and the arbiter to an LLC bank.
+	t3 := s.l2MSHR[core].Reserve(t2 + s.cfg.L2Latency)
+	set := s.llc.SetOf(block)
+	start := s.arb.Schedule(core, s.arb.BankOf(set), t3)
+	t4 := start + s.cfg.LLCLatency
+
+	if demand && s.cfg.LLCAccessHook != nil {
+		s.cfg.LLCAccessHook(core, set, block)
+	}
+	s.scratchLLC = cache.Access{Block: block, Core: core, PC: pc, Write: write, Demand: demand}
+	rl := s.llc.Access(&s.scratchLLC)
+
+	var data uint64
+	if rl.Hit {
+		data = t4
+	} else {
+		// DRAM read (whether the LLC allocated or bypassed).
+		dramAt := s.llcMSHR.Reserve(t4)
+		done, _ := s.dram.Access(dramAt, block, false)
+		s.llcMSHR.Occupy(done)
+		data = done
+		if rl.EvictedValid && rl.Evicted.Dirty {
+			s.dirtyLLCVictimToDRAM(rl.Evicted.Block, t4)
+		}
+	}
+	s.l2MSHR[core].Occupy(data)
+	return data
+}
+
+// writebackToL2 handles a dirty L1 victim: state-only write into the L2
+// (the L1-L2 interconnect is not a bottleneck in this study).
+func (s *System) writebackToL2(core int, block uint64, now uint64) {
+	s.scratchWB = cache.Access{Block: block, Core: 0, Write: true, Demand: false, Writeback: true}
+	r := s.l2[core].Access(&s.scratchWB)
+	if r.EvictedValid && r.Evicted.Dirty {
+		s.writebackToLLC(core, r.Evicted.Block, now)
+	}
+}
+
+// writebackToLLC handles a dirty L2 victim: it occupies an L2 write-back
+// buffer entry and an LLC bank slot; a resident LLC copy absorbs the write,
+// otherwise the victim writes through to DRAM. No allocation on a miss —
+// filling the LLC with blocks the L2 just evicted would churn the cache
+// and, under high-turnover policies, roughly double DRAM write traffic.
+func (s *System) writebackToLLC(core int, block uint64, now uint64) {
+	at := s.l2WB[core].Reserve(now)
+	set := s.llc.SetOf(block)
+	start := s.arb.Schedule(core, s.arb.BankOf(set), at)
+	done := start + s.cfg.LLCLatency
+
+	s.scratchWB = cache.Access{Block: block, Core: core, Write: true, Demand: false, Writeback: true}
+	if !s.llc.WritebackNoAllocate(&s.scratchWB) {
+		d, _ := s.dram.Access(done, block, true)
+		done = d
+	}
+	s.l2WB[core].Occupy(done)
+}
+
+// dirtyLLCVictimToDRAM drains a dirty LLC victim through the LLC write-back
+// buffer into a DRAM bank.
+func (s *System) dirtyLLCVictimToDRAM(block uint64, now uint64) {
+	at := s.llcWB.Reserve(now)
+	done, _ := s.dram.Access(at, block, true)
+	s.llcWB.Occupy(done)
+}

@@ -1,0 +1,152 @@
+// Package workload constructs the multi-programmed workload mixes of the
+// paper's Table 6:
+//
+//	4-core:      120 workloads, at least 1 thrashing application
+//	8-core:       80 workloads, at least 1 from each class
+//	16-core:      60 workloads, at least 2 from each class
+//	20/24-core:   40 workloads each, at least 3 from each class
+//
+// Mixes are drawn deterministically from a seed; a given (study, seed) pair
+// always yields the same workload list, so experiments and tests agree on
+// what "workload #17" means.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/rng"
+)
+
+// Study describes one row of Table 6.
+type Study struct {
+	Name         string
+	Cores        int
+	Count        int // number of workload mixes
+	MinPerClass  int // minimum benchmarks from each of the five classes
+	MinThrashing int // minimum thrashing (Fpn >= 16) benchmarks
+}
+
+// Table6 returns the paper's five studies.
+func Table6() []Study {
+	return []Study{
+		{Name: "4-core", Cores: 4, Count: 120, MinThrashing: 1},
+		{Name: "8-core", Cores: 8, Count: 80, MinPerClass: 1},
+		{Name: "16-core", Cores: 16, Count: 60, MinPerClass: 2},
+		{Name: "20-core", Cores: 20, Count: 40, MinPerClass: 3},
+		{Name: "24-core", Cores: 24, Count: 40, MinPerClass: 3},
+	}
+}
+
+// StudyByCores returns the Table 6 study for a core count.
+func StudyByCores(cores int) (Study, bool) {
+	for _, s := range Table6() {
+		if s.Cores == cores {
+			return s, true
+		}
+	}
+	return Study{}, false
+}
+
+// Mix is one multi-programmed workload: one benchmark per core.
+type Mix struct {
+	ID    int
+	Names []string
+}
+
+// Validate checks a study's constraints against a mix.
+func (m Mix) Validate(s Study) error {
+	if len(m.Names) != s.Cores {
+		return fmt.Errorf("workload: mix %d has %d apps, want %d", m.ID, len(m.Names), s.Cores)
+	}
+	perClass := map[bench.Class]int{}
+	thrashing := 0
+	for _, n := range m.Names {
+		spec, ok := bench.ByName(n)
+		if !ok {
+			return fmt.Errorf("workload: mix %d has unknown benchmark %q", m.ID, n)
+		}
+		perClass[spec.Class()]++
+		if spec.Thrashing() {
+			thrashing++
+		}
+	}
+	if thrashing < s.MinThrashing {
+		return fmt.Errorf("workload: mix %d has %d thrashing apps, want >= %d", m.ID, thrashing, s.MinThrashing)
+	}
+	if s.MinPerClass > 0 {
+		for _, c := range bench.AllClasses() {
+			if perClass[c] < s.MinPerClass {
+				return fmt.Errorf("workload: mix %d has %d %s apps, want >= %d", m.ID, perClass[c], c, s.MinPerClass)
+			}
+		}
+	}
+	return nil
+}
+
+// Mixes generates the study's workload list from seed.
+func Mixes(s Study, seed uint64) []Mix {
+	src := rng.New(seed ^ (uint64(s.Cores) << 32) ^ uint64(s.Count))
+	byClass := bench.ByClass()
+	thrashing := bench.ThrashingNames()
+	out := make([]Mix, s.Count)
+	for i := range out {
+		out[i] = buildMix(i, s, byClass, thrashing, src.Fork())
+	}
+	return out
+}
+
+// buildMix assembles one workload satisfying the study's constraints:
+// required class/thrashing picks first, then random fill, then a shuffle so
+// core index carries no class bias. Picks avoid duplicates while the pool
+// allows it, then fall back to sampling with replacement (needed e.g. for 3
+// VH picks from a 3-member class across many mixes, or tiny test studies).
+func buildMix(id int, s Study, byClass map[bench.Class][]string, thrashing []string, src *rng.Source) Mix {
+	chosen := make([]string, 0, s.Cores)
+	used := map[string]bool{}
+
+	pick := func(pool []string) {
+		// Prefer unused names.
+		var avail []string
+		for _, n := range pool {
+			if !used[n] {
+				avail = append(avail, n)
+			}
+		}
+		var name string
+		if len(avail) > 0 {
+			name = avail[src.Intn(len(avail))]
+		} else {
+			name = pool[src.Intn(len(pool))]
+		}
+		used[name] = true
+		chosen = append(chosen, name)
+	}
+
+	if s.MinPerClass > 0 {
+		for _, c := range bench.AllClasses() {
+			for k := 0; k < s.MinPerClass && len(chosen) < s.Cores; k++ {
+				pick(byClass[c])
+			}
+		}
+	}
+	for t := countThrashing(chosen); t < s.MinThrashing && len(chosen) < s.Cores; t++ {
+		pick(thrashing)
+	}
+	all := bench.Names()
+	for len(chosen) < s.Cores {
+		pick(all)
+	}
+	src.Shuffle(len(chosen), func(i, j int) { chosen[i], chosen[j] = chosen[j], chosen[i] })
+	return Mix{ID: id, Names: chosen}
+}
+
+func countThrashing(names []string) int {
+	n := 0
+	for _, name := range names {
+		if spec, ok := bench.ByName(name); ok && spec.Thrashing() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestTable6Studies(t *testing.T) {
+	studies := Table6()
+	if len(studies) != 5 {
+		t.Fatalf("%d studies, want 5", len(studies))
+	}
+	wantCounts := map[int]int{4: 120, 8: 80, 16: 60, 20: 40, 24: 40}
+	for _, s := range studies {
+		if wantCounts[s.Cores] != s.Count {
+			t.Errorf("%s: count %d, want %d", s.Name, s.Count, wantCounts[s.Cores])
+		}
+	}
+	if s, ok := StudyByCores(16); !ok || s.MinPerClass != 2 {
+		t.Fatal("16-core study should require 2 per class")
+	}
+	if _, ok := StudyByCores(7); ok {
+		t.Fatal("7-core study should not exist")
+	}
+}
+
+func TestMixesSatisfyConstraints(t *testing.T) {
+	for _, s := range Table6() {
+		mixes := Mixes(s, 42)
+		if len(mixes) != s.Count {
+			t.Fatalf("%s: %d mixes, want %d", s.Name, len(mixes), s.Count)
+		}
+		for _, m := range mixes {
+			if err := m.Validate(s); err != nil {
+				t.Fatalf("%s: %v (mix=%v)", s.Name, err, m.Names)
+			}
+		}
+	}
+}
+
+func TestMixesDeterministic(t *testing.T) {
+	s, _ := StudyByCores(16)
+	a := Mixes(s, 7)
+	b := Mixes(s, 7)
+	for i := range a {
+		for j := range a[i].Names {
+			if a[i].Names[j] != b[i].Names[j] {
+				t.Fatal("same seed produced different mixes")
+			}
+		}
+	}
+	c := Mixes(s, 8)
+	same := true
+	for i := range a {
+		for j := range a[i].Names {
+			if a[i].Names[j] != c[i].Names[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workload lists")
+	}
+}
+
+func TestMixesAvoidDuplicatesWhenPossible(t *testing.T) {
+	// With 38 benchmarks and <= 24 cores, no mix needs a duplicate except
+	// the 20/24-core VH requirement (3 VH members, exactly 3 required).
+	s, _ := StudyByCores(16)
+	for _, m := range Mixes(s, 3) {
+		seen := map[string]int{}
+		for _, n := range m.Names {
+			seen[n]++
+		}
+		for n, c := range seen {
+			if c > 1 {
+				t.Fatalf("mix %d duplicates %s despite available pool", m.ID, n)
+			}
+		}
+	}
+}
+
+func TestMixesDiverse(t *testing.T) {
+	s, _ := StudyByCores(4)
+	mixes := Mixes(s, 42)
+	distinct := map[string]bool{}
+	for _, m := range mixes {
+		key := ""
+		for _, n := range m.Names {
+			key += n + ","
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < len(mixes)*9/10 {
+		t.Fatalf("only %d distinct mixes of %d", len(distinct), len(mixes))
+	}
+}
+
+func TestValidateCatchesBadMixes(t *testing.T) {
+	s, _ := StudyByCores(4)
+	if err := (Mix{ID: 0, Names: []string{"calc", "eon"}}).Validate(s); err == nil {
+		t.Fatal("wrong-size mix accepted")
+	}
+	if err := (Mix{ID: 0, Names: []string{"calc", "eon", "gcc", "mesa"}}).Validate(s); err == nil {
+		t.Fatal("mix without thrashing app accepted for the 4-core study")
+	}
+	if err := (Mix{ID: 0, Names: []string{"calc", "eon", "gcc", "zzz"}}).Validate(s); err == nil {
+		t.Fatal("mix with unknown benchmark accepted")
+	}
+	ok := Mix{ID: 0, Names: []string{"calc", "eon", "gcc", "lbm"}}
+	if err := ok.Validate(s); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+}
+
+func TestClassCoverageAcross16CoreMixes(t *testing.T) {
+	// Sanity: with 2-per-class minimums, a 16-core mix has >= 10 pinned
+	// slots; the remaining 6 must still come from the benchmark table.
+	s, _ := StudyByCores(16)
+	for _, m := range Mixes(s, 1)[:5] {
+		counts := map[bench.Class]int{}
+		for _, n := range m.Names {
+			counts[bench.MustByName(n).Class()]++
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != 16 {
+			t.Fatalf("mix accounts for %d cores, want 16", total)
+		}
+	}
+}
