@@ -1,0 +1,48 @@
+# One source of truth for local and CI commands: .github/workflows/ci.yml
+# invokes these targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test test-race lint vet fmt-check bench bench-smoke paperfig ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -short -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check
+
+# Full benchmark sweep at Tiny fidelity (prints every regenerated table).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# CI smoke: regenerate a representative figure/table set at Tiny fidelity
+# through the shared scheduler and emit the structured artifact CI uploads
+# as the perf trajectory (BENCH_*.json).
+bench-smoke: build
+	$(GO) run ./cmd/paperfig -fig 1 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig1.json
+	$(GO) run ./cmd/paperfig -fig 6 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig6.json
+
+# Quick-fidelity regeneration of everything (minutes).
+paperfig:
+	$(GO) run ./cmd/paperfig -all -stats -cache-dir .simcache -json paperfig.json
+
+ci: build lint test test-race
+
+clean:
+	rm -rf .simcache BENCH_*.json paperfig.json

@@ -12,11 +12,25 @@
 // Fidelity flags:
 //
 //	-full            paper-scale geometry and instruction budgets (slow)
+//	-tiny            test-scale fidelity (CI smoke runs)
 //	-scale N         cache scale divisor           (default 8)
 //	-workloads N     mixes per study, 0 = paper    (default 20)
 //	-measure N       instructions/app measured     (default 600000)
 //	-warmup N        instructions/app warmed up    (default 150000)
 //	-seed N          experiment seed               (default 42)
+//
+// Output and caching flags:
+//
+//	-json FILE       also write every table as one structured JSON artifact
+//	-csv DIR         also write one CSV file per table into DIR
+//	-cache-dir DIR   persist simulation results under DIR (.simcache
+//	                 conventionally) so re-runs only simulate what changed
+//	-stats           print scheduler cache/dedup statistics to stderr
+//
+// All simulations route through the shared internal/schedule scheduler, so
+// a -all run computes the TA-DRRIP baseline grids once even though nearly
+// every figure needs them, and a second run against the same -cache-dir is
+// close to free.
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/schedule"
 )
 
 func main() {
@@ -35,12 +50,17 @@ func main() {
 		ablation  = flag.String("ablation", "", "ablation sweep: interval|sets|ranges")
 		all       = flag.Bool("all", false, "regenerate everything")
 		full      = flag.Bool("full", false, "paper-scale fidelity (slow)")
+		tiny      = flag.Bool("tiny", false, "test-scale fidelity (CI smoke)")
 		scale     = flag.Int("scale", 8, "cache scale divisor")
 		workloads = flag.Int("workloads", 20, "mixes per study (0 = paper counts)")
 		measure   = flag.Uint64("measure", 600_000, "measured instructions per app")
 		warmup    = flag.Uint64("warmup", 150_000, "warm-up instructions per app")
 		seed      = flag.Uint64("seed", 42, "experiment seed")
 		par       = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "", "write a structured JSON artifact to this file")
+		csvDir    = flag.String("csv", "", "write per-table CSV files into this directory")
+		cacheDir  = flag.String("cache-dir", "", "on-disk simulation cache directory (e.g. "+schedule.DefaultCacheDir+")")
+		stats     = flag.Bool("stats", false, "print scheduler statistics to stderr")
 	)
 	flag.Parse()
 
@@ -52,83 +72,129 @@ func main() {
 		Seed:         *seed,
 		Parallelism:  *par,
 	}
-	if *full {
-		opt = experiments.Paper()
-		opt.Parallelism = *par
+	// Presets give the baseline; explicitly-passed fidelity flags still win
+	// (e.g. `-tiny -seed 7` is Tiny at seed 7, not seed 42).
+	if *full || *tiny {
+		preset := experiments.Paper()
+		if *tiny {
+			preset = experiments.Tiny()
+		}
+		preset.Parallelism = *par
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale":
+				preset.Scale = *scale
+			case "workloads":
+				preset.MaxWorkloads = *workloads
+			case "measure":
+				preset.MeasureInstr = *measure
+			case "warmup":
+				preset.WarmupInstr = *warmup
+			case "seed":
+				preset.Seed = *seed
+			}
+		})
+		opt = preset
+	}
+
+	sched := schedule.Shared()
+	if *cacheDir != "" {
+		if err := sched.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	art := schedule.Artifact{Name: "paperfig", GeneratedAt: start.UTC(), Options: opt}
+	emit := func(tables ...experiments.Table) {
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			art.Add(t.Data())
+		}
 	}
 
 	ran := false
-	start := time.Now()
-	defer func() {
-		if ran {
-			fmt.Fprintf(os.Stderr, "elapsed: %s\n", time.Since(start).Round(time.Second))
-		}
-	}()
-
 	if *all || *table == 2 {
 		ran = true
-		experiments.Table2Table().Fprint(os.Stdout)
+		emit(experiments.Table2Table())
 	}
 	if *all || *table == 4 {
 		ran = true
-		experiments.Table4Table(experiments.Table4(opt)).Fprint(os.Stdout)
+		emit(experiments.Table4Table(experiments.Table4(opt)))
 	}
 	if *all || *fig == 1 {
 		ran = true
 		r := experiments.Fig1(opt)
-		r.TableA().Fprint(os.Stdout)
-		r.TableB().Fprint(os.Stdout)
-		r.TableC().Fprint(os.Stdout)
+		emit(r.TableA(), r.TableB(), r.TableC())
 	}
 	if *all || *fig == 3 || *fig == 4 || *fig == 5 {
 		ran = true
 		r := experiments.Fig3(opt)
 		if *all || *fig == 3 {
-			r.Table("Figure 3 — 16-core workloads").Fprint(os.Stdout)
+			emit(r.Table("Figure 3 — 16-core workloads"))
 		}
 		if *all || *fig == 4 || *fig == 5 {
 			f4, f5 := r.Fig45Tables()
 			if *all || *fig == 4 {
-				f4.Fprint(os.Stdout)
+				emit(f4)
 			}
 			if *all || *fig == 5 {
-				f5.Fprint(os.Stdout)
+				emit(f5)
 			}
 		}
 	}
 	if *all || *fig == 6 {
 		ran = true
-		experiments.Fig6(opt).Table().Fprint(os.Stdout)
+		emit(experiments.Fig6(opt).Table())
 	}
 	if *all || *fig == 7 {
 		ran = true
-		experiments.Fig7(opt).Table().Fprint(os.Stdout)
+		emit(experiments.Fig7(opt).Table())
 	}
 	if *all || *fig == 8 {
 		ran = true
-		for _, t := range experiments.Fig8(opt).Tables() {
-			t.Fprint(os.Stdout)
-		}
+		emit(experiments.Fig8(opt).Tables()...)
 	}
 	if *all || *table == 7 {
 		ran = true
-		experiments.Table7(opt).Table().Fprint(os.Stdout)
+		emit(experiments.Table7(opt).Table())
 	}
 	if *all || *ablation == "interval" {
 		ran = true
-		experiments.AblationInterval(opt).Table().Fprint(os.Stdout)
+		emit(experiments.AblationInterval(opt).Table())
 	}
 	if *all || *ablation == "sets" {
 		ran = true
-		experiments.AblationSets(opt).Table().Fprint(os.Stdout)
+		emit(experiments.AblationSets(opt).Table())
 	}
 	if *all || *ablation == "ranges" {
 		ran = true
-		experiments.AblationRanges(opt).Table().Fprint(os.Stdout)
+		emit(experiments.AblationRanges(opt).Table())
 	}
 
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	elapsed := time.Since(start).Round(time.Millisecond)
+	art.Elapsed = elapsed.String()
+	art.Scheduler = sched.Stats()
+	if *jsonPath != "" {
+		if err := art.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig: write json:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := art.WriteCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfig: write csv:", err)
+			os.Exit(1)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "scheduler: %s\n", art.Scheduler)
+	}
+	fmt.Fprintf(os.Stderr, "elapsed: %s\n", elapsed)
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/schedule"
 	"repro/internal/workload"
 )
 
@@ -96,13 +97,66 @@ func TestRunStudyShapes(t *testing.T) {
 
 func TestAloneIPCCached(t *testing.T) {
 	r := NewRunner(tinyOpt())
-	a := r.AloneIPC(4, "calc")
-	b := r.AloneIPC(4, "calc")
+	a := r.AloneIPC("calc")
+	b := r.AloneIPC("calc")
 	if a != b {
 		t.Fatal("cached solo IPC differs")
 	}
 	if a <= 0 || a > 4 {
 		t.Fatalf("calc solo IPC = %v", a)
+	}
+}
+
+// TestCrossHarnessDedup is the scheduler's reason to exist: two harnesses
+// (modelled as two Runners sharing one scheduler) running overlapping study
+// grids must share simulations instead of recomputing them — the second
+// grid is answered entirely from cache, and the shared-policy runs agree
+// exactly.
+func TestCrossHarnessDedup(t *testing.T) {
+	sched := schedule.New(2)
+	opt := tinyOpt()
+	study, _ := workload.StudyByCores(4)
+
+	r1 := NewRunnerWith(opt, sched)
+	first := r1.RunStudy(study, []PolicySpec{Baseline, {Key: "LRU", Policy: "lru"}})
+	afterFirst := sched.Stats()
+	if afterFirst.Hits() == 0 {
+		// Even one harness has internal reuse (solo IPCs repeat across
+		// mixes), but don't insist on it; the cross-harness check below is
+		// the contract.
+		t.Log("no intra-harness hits at this grid size")
+	}
+
+	// Second harness: same baseline grid plus a new policy. Only the new
+	// policy's runs should execute.
+	r2 := NewRunnerWith(opt, sched)
+	second := r2.RunStudy(study, []PolicySpec{Baseline, {Key: "SHiP", Policy: "ship"}})
+	st := sched.Stats()
+	if hits := st.Hits() - afterFirst.Hits(); hits == 0 {
+		t.Fatalf("no cache hits when harnesses share a grid: %+v", st)
+	}
+	newRuns := st.Executed - afterFirst.Executed
+	if want := uint64(len(second.Mixes)); newRuns != want {
+		t.Fatalf("second harness executed %d simulations, want %d (SHiP only); stats %+v",
+			newRuns, want, st)
+	}
+	for i := range first.Mixes {
+		a := first.ByPolicy[Baseline.Key][i].Result
+		b := second.ByPolicy[Baseline.Key][i].Result
+		for core := range a.Apps {
+			if a.Apps[core] != b.Apps[core] {
+				t.Fatalf("mix %d core %d: deduped baseline result differs", i, core)
+			}
+		}
+	}
+}
+
+// TestRunnerSharedSchedulerDefault pins that NewRunner wires harnesses to
+// the process-wide scheduler (the cross-harness reuse path of cmd/paperfig
+// and the test binary itself).
+func TestRunnerSharedSchedulerDefault(t *testing.T) {
+	if NewRunner(tinyOpt()).Scheduler() != schedule.Shared() {
+		t.Fatal("NewRunner did not use the shared scheduler")
 	}
 }
 

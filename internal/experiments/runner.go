@@ -6,12 +6,12 @@
 package experiments
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -73,6 +73,29 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for i in [0, n) with at most workers() concurrent
+// submissions. Execution itself is bounded (and deduplicated) by the
+// scheduler's pool; this only caps how many jobs a single harness holds
+// in flight, honouring Options.Parallelism.
+func (o Options) forEach(n int, fn func(i int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // baseConfig builds the machine for a core count under these options.
@@ -152,48 +175,60 @@ type StudyRuns struct {
 	Alone    map[string]float64  // benchmark name -> solo IPC
 }
 
-// Runner executes simulations with a worker pool and caches solo baselines.
+// Runner routes a harness's simulations through a schedule.Scheduler. The
+// scheduler memoizes by content-addressed job key, so repeated grids — the
+// TA-DRRIP baseline every figure shares, solo-IPC denominators, overlapping
+// ablation sweeps — simulate once per process (and once per machine when a
+// disk cache is configured).
 type Runner struct {
-	Opt Options
-
-	mu    sync.Mutex
-	alone map[string]float64 // key: name@cores-geometry
+	Opt   Options
+	sched *schedule.Scheduler
 }
 
-// NewRunner builds a Runner.
+// NewRunner builds a Runner on the process-wide shared scheduler, which is
+// what gives independent harnesses (Fig1, Fig3, Table 7, ...) cross-harness
+// result reuse.
 func NewRunner(opt Options) *Runner {
-	return &Runner{Opt: opt, alone: map[string]float64{}}
+	return NewRunnerWith(opt, schedule.Shared())
 }
 
-// AloneIPC returns (computing and caching on first use) a benchmark's solo
-// IPC on the study's machine with the baseline policy.
-func (r *Runner) AloneIPC(cores int, name string) float64 {
-	key := fmt.Sprintf("%s@%d/%d", name, cores, r.Opt.Scale)
-	r.mu.Lock()
-	v, ok := r.alone[key]
-	r.mu.Unlock()
-	if ok {
-		return v
-	}
-	cfg := r.Opt.baseConfig(cores)
-	cfg.Cores = 1
+// NewRunnerWith builds a Runner on a specific scheduler (tests use private
+// schedulers to observe hit counters in isolation).
+func NewRunnerWith(opt Options, s *schedule.Scheduler) *Runner {
+	return &Runner{Opt: opt, sched: s}
+}
+
+// Scheduler exposes the runner's scheduler (for stats and cache control).
+func (r *Runner) Scheduler() *schedule.Scheduler { return r.sched }
+
+// soloConfig is the 1-core machine used for solo baselines. It depends only
+// on the options (not the study's core count), so solo runs deduplicate
+// across studies of different widths.
+func (o Options) soloConfig() sim.Config {
+	cfg := o.baseConfig(1)
 	cfg.Arb = sim.DefaultConfig(1).Arb
-	sys := sim.NewFromNames(cfg, []string{name})
-	res := sys.Run(r.Opt.WarmupInstr, r.Opt.MeasureInstr)
-	ipc := res.Apps[0].IPC
-	r.mu.Lock()
-	r.alone[key] = ipc
-	r.mu.Unlock()
-	return ipc
+	return cfg
 }
 
-// job identifies one simulation of the study grid.
-type job struct {
-	mixIdx, polIdx int
+// AloneIPC returns a benchmark's solo IPC on the options' machine with the
+// baseline policy. Memoization lives in the scheduler: every repeat — in
+// this harness or any other sharing the scheduler — is a cache hit.
+func (r *Runner) AloneIPC(name string) float64 {
+	res := r.sched.Run(schedule.Job{
+		Config:  r.Opt.soloConfig(),
+		Names:   []string{name},
+		Warmup:  r.Opt.WarmupInstr,
+		Measure: r.Opt.MeasureInstr,
+	})
+	return res.Apps[0].IPC
 }
 
 // RunStudy simulates every (mix, policy) pair of a study and collects solo
-// baselines for each benchmark that appears.
+// baselines for each benchmark that appears. Each pair becomes a scheduler
+// job keyed by its fully-configured machine, so identical pairs requested
+// by other harnesses (or earlier runs against a disk cache) are not
+// re-simulated. Options.Parallelism bounds this harness's in-flight
+// submissions; the scheduler's pool bounds the process.
 func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 	mixes := r.Opt.mixes(study)
 	out := StudyRuns{
@@ -206,39 +241,29 @@ func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 		out.ByPolicy[p.Key] = make([]MixRun, len(mixes))
 	}
 
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < r.Opt.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				mix := mixes[j.mixIdx]
-				p := pols[j.polIdx]
-				cfg := r.Opt.baseConfig(study.Cores)
-				cfg.LLCPolicy = p.Policy
-				if p.Configure != nil {
-					p.Configure(&cfg, mix.Names)
-				}
-				sys := sim.NewFromNames(cfg, mix.Names)
-				res := sys.Run(r.Opt.WarmupInstr, r.Opt.MeasureInstr)
-				out.ByPolicy[p.Key][j.mixIdx] = MixRun{Mix: mix, Result: res}
-			}
-		}()
-	}
-	for mi := range mixes {
-		for pi := range pols {
-			jobs <- job{mi, pi}
+	r.Opt.forEach(len(mixes)*len(pols), func(i int) {
+		mi, pi := i/len(pols), i%len(pols)
+		mix := mixes[mi]
+		p := pols[pi]
+		cfg := r.Opt.baseConfig(study.Cores)
+		cfg.LLCPolicy = p.Policy
+		if p.Configure != nil {
+			p.Configure(&cfg, mix.Names)
 		}
-	}
-	close(jobs)
-	wg.Wait()
+		res := r.sched.Run(schedule.Job{
+			Config:  cfg,
+			Names:   mix.Names,
+			Warmup:  r.Opt.WarmupInstr,
+			Measure: r.Opt.MeasureInstr,
+		})
+		out.ByPolicy[p.Key][mi] = MixRun{Mix: mix, Result: res}
+	})
 
-	// Solo baselines (sequential; the cache makes repeats free).
+	// Solo baselines (sequential; the scheduler makes repeats free).
 	for _, m := range mixes {
 		for _, n := range m.Names {
 			if _, ok := out.Alone[n]; !ok {
-				out.Alone[n] = r.AloneIPC(study.Cores, n)
+				out.Alone[n] = r.AloneIPC(n)
 			}
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/schedule"
 )
 
 // Table is a printable experiment output: the rows/series a paper table or
@@ -38,6 +40,12 @@ func (t Table) String() string {
 	var b strings.Builder
 	t.Fprint(&b)
 	return b.String()
+}
+
+// Data converts the table to its machine-readable artifact form, which the
+// schedule package serializes as JSON or CSV.
+func (t Table) Data() schedule.TableData {
+	return schedule.TableData{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

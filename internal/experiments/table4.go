@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"sync"
-
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/schedule"
 )
 
 // Table4Row is one benchmark's measured characterisation, mirroring the
@@ -30,25 +28,15 @@ type Table4Row struct {
 // measures per 1M-miss interval of the solo run; scaled runs use the window
 // as the interval).
 func Table4(opt Options) []Table4Row {
+	return table4With(opt, schedule.Shared())
+}
+
+func table4With(opt Options, sched *schedule.Scheduler) []Table4Row {
 	specs := bench.All()
 	rows := make([]Table4Row, len(specs))
-
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < opt.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rows[i] = measureOne(opt, specs[i])
-			}
-		}()
-	}
-	for i := range specs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	opt.forEach(len(specs), func(i int) {
+		rows[i] = measureOne(opt, sched, specs[i])
+	})
 	return rows
 }
 
@@ -82,10 +70,8 @@ func soloBudget(opt Options, spec bench.Spec, llcSets int) uint64 {
 	return need
 }
 
-func measureOne(opt Options, spec bench.Spec) Table4Row {
-	cfg := opt.baseConfig(1)
-	cfg.Cores = 1
-	cfg.Arb = sim.DefaultConfig(1).Arb
+func measureOne(opt Options, sched *schedule.Scheduler, spec bench.Spec) Table4Row {
+	cfg := opt.soloConfig()
 
 	all := core.NewSampler(core.SamplerConfig{
 		Sets: cfg.LLCSets, Cores: 1, MonitoredSets: cfg.LLCSets,
@@ -100,12 +86,17 @@ func measureOne(opt Options, spec bench.Spec) Table4Row {
 		samp.Observe(0, set, block)
 	}
 
-	sys := sim.NewFromSpecs(cfg, []bench.Spec{spec})
 	// The footprint interval is the whole run (warm-up included), exactly
 	// like one solo interval of the paper's Table 4 measurement; the budget
 	// adapts to the benchmark's intensity so light applications get the
-	// longer windows they need.
-	res := sys.Run(0, opt.WarmupInstr+soloBudget(opt, spec, cfg.LLCSets))
+	// longer windows they need. The run goes through the scheduler's
+	// uncached path: its real output escapes via the samplers on
+	// LLCAccessHook, so a memoized Result would skip the measurement.
+	res := sched.RunUncached(schedule.Job{
+		Config:  cfg,
+		Names:   []string{spec.Name},
+		Measure: opt.WarmupInstr + soloBudget(opt, spec, cfg.LLCSets),
+	})
 
 	row := Table4Row{
 		Name:    spec.Name,

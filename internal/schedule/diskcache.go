@@ -1,0 +1,102 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// DefaultCacheDir is the conventional on-disk cache location that
+// cmd/paperfig offers via -cache-dir.
+const DefaultCacheDir = ".simcache"
+
+// diskEntry is the JSON envelope around one cached result. Schema and Key
+// are stored redundantly (the path already encodes both) so an entry that
+// was copied or renamed by hand still self-identifies, and Names/budgets
+// make the files meaningful to humans and to artifact tooling.
+type diskEntry struct {
+	Schema  string     `json:"schema"`
+	Key     string     `json:"key"`
+	Names   []string   `json:"names"`
+	Warmup  uint64     `json:"warmup"`
+	Measure uint64     `json:"measure"`
+	Result  sim.Result `json:"result"`
+}
+
+// diskCache is the optional second tier of the result store. All methods
+// are safe for concurrent use: reads are plain file reads, writes go
+// through a temp file + rename so concurrent writers of the same key are
+// idempotent and readers never observe a torn entry.
+type diskCache struct {
+	dir string // schema-qualified root, e.g. .simcache/job-v1+sim-config-v1
+}
+
+// schemaSlug makes KeySchema filesystem-safe.
+func schemaSlug() string {
+	return strings.NewReplacer("/", "-", "\x00", "-").Replace(KeySchema)
+}
+
+func newDiskCache(root string) (*diskCache, error) {
+	dir := filepath.Join(root, schemaSlug())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("schedule: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// read returns (result, true, nil) on a usable entry, (_, false, nil) on a
+// miss — including entries whose embedded schema or key disagrees, which a
+// schema bump or a hand-copied file produces — and an error only for real
+// I/O or decode failures worth counting.
+func (d *diskCache) read(key string) (sim.Result, bool, error) {
+	data, err := os.ReadFile(d.path(key))
+	if os.IsNotExist(err) {
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return sim.Result{}, false, err
+	}
+	if e.Schema != KeySchema || e.Key != key {
+		return sim.Result{}, false, nil
+	}
+	return e.Result, true, nil
+}
+
+func (d *diskCache) write(key string, j Job, r sim.Result) error {
+	data, err := json.MarshalIndent(diskEntry{
+		Schema:  KeySchema,
+		Key:     key,
+		Names:   j.Names,
+		Warmup:  j.Warmup,
+		Measure: j.Measure,
+		Result:  r,
+	}, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}

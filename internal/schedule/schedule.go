@@ -1,0 +1,255 @@
+// Package schedule is the process-wide simulation scheduler that every
+// experiment harness routes through. It replaces the per-harness worker
+// pools of internal/experiments with one bounded pool, and memoizes
+// simulation results so identical (config, workload, budget) jobs — which
+// the paper's figure/table grids request constantly, e.g. the TA-DRRIP
+// baseline runs shared by Figures 1/3/6/8 and Table 7 — execute exactly
+// once per process and optionally once per machine.
+//
+// The scheduler has three cooperating mechanisms:
+//
+//   - Content-addressed job keys: Job.Key() digests the fully-configured
+//     sim.Config (via sim.Config.Fingerprint), the workload names and the
+//     warm-up/measure budgets. Keys are valid across processes.
+//   - Singleflight execution: concurrent harnesses requesting the same key
+//     share one execution; latecomers block on the leader's result.
+//   - A two-tier result store: an in-memory map for intra-process reuse and
+//     an optional on-disk JSON cache (SetCacheDir, conventionally
+//     .simcache/) versioned by the key schema, so cmd/paperfig re-runs are
+//     incremental across invocations.
+//
+// Runs whose value lives outside the sim.Result — e.g. Table 4's
+// footprint-sampler hooks — use RunUncached, which still shares the pool
+// but never memoizes or dedups (two hook-carrying jobs need two runs).
+package schedule
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// KeySchema versions Job.Key. It folds in sim.FingerprintSchema so a
+// change to the config encoding invalidates disk caches automatically.
+const KeySchema = "job/v1+" + sim.FingerprintSchema
+
+// Job is one simulation request: a fully-configured machine (any
+// PolicySpec.Configure mutation already applied), a workload, and the
+// instruction budgets. The scheduler assumes — and the simulator
+// guarantees — that a Job's Result is a pure function of these fields.
+type Job struct {
+	Config  sim.Config
+	Names   []string // one benchmark per core, sim.NewFromNames order
+	Warmup  uint64
+	Measure uint64
+}
+
+// Key returns the job's content-addressed identity.
+func (j Job) Key() string {
+	h := sha256.New()
+	io.WriteString(h, KeySchema)
+	io.WriteString(h, "\x00cfg="+j.Config.Fingerprint())
+	fmt.Fprintf(h, "\x00warmup=%d\x00measure=%d\x00names=%d", j.Warmup, j.Measure, len(j.Names))
+	for _, n := range j.Names {
+		io.WriteString(h, "\x00"+n)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (j Job) run() sim.Result {
+	return sim.NewFromNames(j.Config, j.Names).Run(j.Warmup, j.Measure)
+}
+
+// Stats counts scheduler traffic. Hits()>0 across two harnesses proves the
+// grids overlap and the dedup machinery is earning its keep.
+type Stats struct {
+	// Submitted counts every Run/RunUncached call.
+	Submitted uint64 `json:"submitted"`
+	// Executed counts jobs that actually simulated (cacheable path).
+	Executed uint64 `json:"executed"`
+	// MemHits / DiskHits count store hits per tier.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	// Shared counts callers that joined another caller's in-flight run.
+	Shared uint64 `json:"shared"`
+	// Uncached counts RunUncached executions (hook-instrumented jobs).
+	Uncached uint64 `json:"uncached"`
+	// DiskErrors counts disk-tier reads/writes that failed and were
+	// treated as misses (the cache is best-effort).
+	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// Hits is the total number of simulations avoided.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Shared }
+
+// String renders a one-line summary for logs.
+func (s Stats) String() string {
+	out := fmt.Sprintf("submitted=%d executed=%d uncached=%d mem-hits=%d disk-hits=%d shared=%d",
+		s.Submitted, s.Executed, s.Uncached, s.MemHits, s.DiskHits, s.Shared)
+	if s.DiskErrors > 0 {
+		out += fmt.Sprintf(" disk-errors=%d", s.DiskErrors)
+	}
+	return out
+}
+
+// flight is one in-progress execution that latecomers wait on.
+type flight struct {
+	done chan struct{}
+	res  sim.Result
+}
+
+// Scheduler is a bounded, memoizing simulation executor. The zero value is
+// not usable; use New or Shared.
+type Scheduler struct {
+	sem chan struct{} // worker-pool tokens; capacity bounds concurrency
+
+	// runFn executes one job; tests substitute it to observe scheduling
+	// behaviour without paying for real simulations.
+	runFn func(Job) sim.Result
+
+	mu       sync.Mutex
+	mem      map[string]sim.Result
+	inflight map[string]*flight
+	disk     *diskCache
+	stats    Stats
+}
+
+// New builds a scheduler with the given worker-pool size (<=0 means
+// GOMAXPROCS).
+func New(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		sem:      make(chan struct{}, workers),
+		runFn:    Job.run,
+		mem:      map[string]sim.Result{},
+		inflight: map[string]*flight{},
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Scheduler
+)
+
+// Shared returns the process-wide scheduler all harnesses use by default,
+// sized to GOMAXPROCS. Sharing it is what lets independent harnesses (and
+// independent tests in one binary) reuse each other's baseline runs.
+func Shared() *Scheduler {
+	sharedOnce.Do(func() { shared = New(0) })
+	return shared
+}
+
+// SetCacheDir enables (dir != "") or disables (dir == "") the on-disk
+// result tier. Entries live under dir/<key-schema-slug>/<key>.json, so a
+// schema bump naturally strands old entries rather than misreading them.
+func (s *Scheduler) SetCacheDir(dir string) error {
+	var d *diskCache
+	if dir != "" {
+		var err error
+		if d, err = newDiskCache(dir); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.disk = d
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Run executes the job or returns its memoized result. Concurrent calls
+// with the same key share one execution. The returned Result's Apps slice
+// is a private copy; callers may keep or modify it freely.
+func (s *Scheduler) Run(j Job) sim.Result {
+	key := j.Key()
+
+	s.mu.Lock()
+	s.stats.Submitted++
+	if r, ok := s.mem[key]; ok {
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return cloneResult(r)
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.stats.Shared++
+		s.mu.Unlock()
+		<-f.done
+		return cloneResult(f.res)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	disk := s.disk
+	s.mu.Unlock()
+
+	if disk != nil {
+		if r, ok, err := disk.read(key); err != nil {
+			s.count(func(st *Stats) { st.DiskErrors++ })
+		} else if ok {
+			s.settle(key, f, r, func(st *Stats) { st.DiskHits++ })
+			return cloneResult(r)
+		}
+	}
+
+	s.sem <- struct{}{}
+	res := s.runFn(j)
+	<-s.sem
+
+	if disk != nil {
+		if err := disk.write(key, j, res); err != nil {
+			s.count(func(st *Stats) { st.DiskErrors++ })
+		}
+	}
+	s.settle(key, f, res, func(st *Stats) { st.Executed++ })
+	return cloneResult(res)
+}
+
+// RunUncached executes the job through the worker pool without touching
+// the store or the singleflight table. It exists for jobs whose outputs
+// escape through config hooks: memoizing them would return a Result while
+// silently skipping the side effects the caller actually wants.
+func (s *Scheduler) RunUncached(j Job) sim.Result {
+	s.count(func(st *Stats) { st.Submitted++; st.Uncached++ })
+	s.sem <- struct{}{}
+	res := s.runFn(j)
+	<-s.sem
+	return res
+}
+
+// settle publishes a finished flight: store the result, wake waiters,
+// bump a counter.
+func (s *Scheduler) settle(key string, f *flight, r sim.Result, bump func(*Stats)) {
+	s.mu.Lock()
+	s.mem[key] = r
+	delete(s.inflight, key)
+	bump(&s.stats)
+	s.mu.Unlock()
+	f.res = r
+	close(f.done)
+}
+
+func (s *Scheduler) count(bump func(*Stats)) {
+	s.mu.Lock()
+	bump(&s.stats)
+	s.mu.Unlock()
+}
+
+// cloneResult copies the Apps slice so callers cannot alias the stored
+// value.
+func cloneResult(r sim.Result) sim.Result {
+	out := r
+	out.Apps = append([]sim.AppResult(nil), r.Apps...)
+	return out
+}

@@ -1,0 +1,344 @@
+package schedule
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testJob(seed uint64, names ...string) Job {
+	if len(names) == 0 {
+		names = []string{"calc", "libq"}
+	}
+	cfg := sim.Scale(sim.DefaultConfig(len(names)), 64)
+	cfg.Seed = seed
+	cfg.PolicyOpt.Seed = seed
+	return Job{Config: cfg, Names: names, Warmup: 10_000, Measure: 30_000}
+}
+
+// fakeResult is what the stubbed runFn returns; tagged by Cycles so tests
+// can tell results apart.
+func fakeRun(tag uint64) func(Job) sim.Result {
+	return func(j Job) sim.Result {
+		return sim.Result{Apps: []sim.AppResult{{Cycles: tag, IPC: 1}}}
+	}
+}
+
+func TestJobKeyStableAndSensitive(t *testing.T) {
+	a, b := testJob(1), testJob(1)
+	if a.Key() != b.Key() {
+		t.Fatal("identical jobs key differently")
+	}
+	variants := []Job{
+		testJob(2),                 // different seed
+		testJob(1, "calc", "lbm"),  // different mix
+		testJob(1, "libq", "calc"), // core order matters
+		func() Job { j := testJob(1); j.Warmup++; return j }(),
+		func() Job { j := testJob(1); j.Measure++; return j }(),
+		func() Job { j := testJob(1); j.Config.LLCPolicy = "lru"; return j }(),
+	}
+	seen := map[string]bool{a.Key(): true}
+	for i, v := range variants {
+		if seen[v.Key()] {
+			t.Fatalf("variant %d collides with a previous key", i)
+		}
+		seen[v.Key()] = true
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	s := New(2)
+	var executions atomic.Uint64
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		return fakeRun(7)(j)
+	}
+	j := testJob(1)
+	r1 := s.Run(j)
+	r2 := s.Run(j)
+	if executions.Load() != 1 {
+		t.Fatalf("executed %d times, want 1", executions.Load())
+	}
+	if r1.Apps[0].Cycles != 7 || r2.Apps[0].Cycles != 7 {
+		t.Fatal("wrong results")
+	}
+	st := s.Stats()
+	if st.Submitted != 2 || st.Executed != 1 || st.MemHits != 1 || st.Hits() != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The stored result must not alias the returned one.
+	r1.Apps[0].Cycles = 999
+	if got := s.Run(j).Apps[0].Cycles; got != 7 {
+		t.Fatalf("caller mutation leaked into the store: %d", got)
+	}
+}
+
+func TestRunSingleflight(t *testing.T) {
+	s := New(4)
+	var executions atomic.Uint64
+	release := make(chan struct{})
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		<-release
+		return fakeRun(3)(j)
+	}
+	j := testJob(1)
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Run(j)
+		}(i)
+	}
+	// Let every goroutine reach the scheduler before releasing the leader.
+	for s.Stats().Shared < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if executions.Load() != 1 {
+		t.Fatalf("executed %d times under contention, want 1", executions.Load())
+	}
+	for i, r := range results {
+		if r.Apps[0].Cycles != 3 {
+			t.Fatalf("caller %d got wrong result", i)
+		}
+	}
+	st := s.Stats()
+	if st.Shared != callers-1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDistinctJobsDoNotShare(t *testing.T) {
+	s := New(2)
+	var executions atomic.Uint64
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		return sim.Result{Apps: []sim.AppResult{{Cycles: j.Config.Seed}}}
+	}
+	if s.Run(testJob(1)).Apps[0].Cycles != 1 || s.Run(testJob(2)).Apps[0].Cycles != 2 {
+		t.Fatal("results crossed between distinct jobs")
+	}
+	if executions.Load() != 2 {
+		t.Fatalf("executed %d, want 2", executions.Load())
+	}
+}
+
+func TestRunUncachedNeverMemoizes(t *testing.T) {
+	s := New(2)
+	var executions atomic.Uint64
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		return fakeRun(1)(j)
+	}
+	j := testJob(1)
+	s.RunUncached(j)
+	s.RunUncached(j)
+	if executions.Load() != 2 {
+		t.Fatalf("uncached executed %d times, want 2", executions.Load())
+	}
+	st := s.Stats()
+	if st.Uncached != 2 || st.Executed != 0 || st.Hits() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// An uncached run must not seed the memo for cached callers.
+	s.Run(j)
+	if s.Stats().Executed != 1 {
+		t.Fatal("cached path should have executed after uncached runs")
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob(1)
+
+	s1 := New(2)
+	s1.runFn = fakeRun(42)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Run(j)
+
+	// A fresh scheduler (fresh process, conceptually) hits the disk tier.
+	s2 := New(2)
+	s2.runFn = func(Job) sim.Result { t.Fatal("disk hit should not execute"); return sim.Result{} }
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := s2.Run(j)
+	if got.Apps[0].Cycles != want.Apps[0].Cycles {
+		t.Fatalf("disk round-trip changed the result: %+v vs %+v", got, want)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Executed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// And the disk hit is promoted to the memory tier.
+	s2.Run(j)
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("no mem promotion: %+v", st)
+	}
+}
+
+func TestDiskCacheSchemaInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob(1)
+
+	s1 := New(2)
+	s1.runFn = fakeRun(1)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s1.Run(j)
+
+	// Rewrite the entry as if an older schema had produced it.
+	path := filepath.Join(dir, schemaSlug(), j.Key()+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Schema = "job/v0+stale"
+	stale, _ := json.Marshal(e)
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(2)
+	var executions atomic.Uint64
+	s2.runFn = func(j Job) sim.Result { executions.Add(1); return fakeRun(2)(j) }
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(j)
+	if executions.Load() != 1 {
+		t.Fatal("stale-schema entry was served instead of re-executing")
+	}
+	if st := s2.Stats(); st.DiskHits != 0 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiskCacheCorruptEntryCounted(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob(1)
+	s1 := New(2)
+	s1.runFn = fakeRun(1)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s1.Run(j)
+	path := filepath.Join(dir, schemaSlug(), j.Key()+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(2)
+	s2.runFn = fakeRun(2)
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(j)
+	st := s2.Stats()
+	if st.DiskErrors != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRealSimulationThroughScheduler exercises the default runFn end to
+// end: a real tiny simulation, twice, must hit the memo and agree exactly
+// (the simulator is deterministic).
+func TestRealSimulationThroughScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	s := New(2)
+	j := testJob(42, "calc")
+	r1 := s.Run(j)
+	r2 := s.Run(j)
+	if len(r1.Apps) != 1 || r1.Apps[0].IPC <= 0 {
+		t.Fatalf("implausible result: %+v", r1)
+	}
+	if r1.Apps[0] != r2.Apps[0] {
+		t.Fatal("memoized result differs from original")
+	}
+	if st := s.Stats(); st.Executed != 1 || st.MemHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSharedIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() returned distinct schedulers")
+	}
+}
+
+func TestArtifactJSONAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	a := Artifact{Name: "test", GeneratedAt: time.Unix(0, 0).UTC()}
+	a.Add(TableData{
+		Title:  "Figure 3 — 16-core workloads",
+		Note:   "note",
+		Header: []string{"rank", "ADAPT_bp32"},
+		Rows:   [][]string{{"1", "1.010"}, {"2", "1.020"}},
+	})
+	a.Add(TableData{Title: "Figure 3 — 16-core workloads", Rows: [][]string{{"dup"}}})
+	a.Scheduler = Stats{Submitted: 3, Executed: 1, MemHits: 2}
+
+	jsonPath := filepath.Join(dir, "a.json")
+	if err := a.WriteJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "test" || len(back.Tables) != 2 || back.Scheduler.MemHits != 2 {
+		t.Fatalf("round-trip mangled the artifact: %+v", back)
+	}
+
+	csvDir := filepath.Join(dir, "csv")
+	if err := a.WriteCSV(csvDir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(csvDir, "figure_3_16-core_workloads.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "rank,ADAPT_bp32") || !strings.Contains(string(first), "1,1.010") {
+		t.Fatalf("csv content wrong:\n%s", first)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "figure_3_16-core_workloads_2.csv")); err != nil {
+		t.Fatal("duplicate-title table not disambiguated:", err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Figure 3 — 16-core workloads": "figure_3_16-core_workloads",
+		"Table 2 — hardware cost":      "table_2_hardware_cost",
+		"  odd!!title  ":               "odd_title",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
