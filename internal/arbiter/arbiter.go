@@ -5,13 +5,24 @@
 // used to schedule requests from L2 to LLC").
 //
 // The LLC is organised as 4 banks with uniform access latency; a bank can
-// start one request per ServiceCycles. Because the surrounding simulator
-// presents requests in (approximately) global time order, first-come
-// first-served per bank with per-core accounting reproduces the fair
-// scheduling VPC provides; per-core wait statistics expose any imbalance.
+// start one request per ServiceCycles. The surrounding simulator interleaves
+// cores at one-op granularity, so requests reach a bank with timestamps that
+// are not globally monotonic (a core's L2 miss carries a computed future
+// time, and another core's logically-earlier request may be presented
+// afterwards). Each bank therefore keeps a busy-interval reservation
+// timeline (internal/timeline) rather than a single busy-until mark:
+// earliest-gap placement serves every request at the first instant the bank
+// is actually free at or after the request's own arrival time, so a
+// request's wait is never inflated by bank time reserved for
+// logically-later requests, and per-core wait accounting stays exact under
+// out-of-order arrival.
 package arbiter
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/timeline"
+)
 
 // Config describes the arbiter and bank organisation.
 type Config struct {
@@ -41,8 +52,8 @@ func (c Config) Validate() error {
 
 // VPC is the arbiter state.
 type VPC struct {
-	cfg      Config
-	bankFree []uint64
+	cfg   Config
+	banks []timeline.Timeline
 	// Per-core stats.
 	requests   []uint64
 	waitCycles []uint64
@@ -55,7 +66,7 @@ func New(cfg Config) *VPC {
 	}
 	return &VPC{
 		cfg:        cfg,
-		bankFree:   make([]uint64, cfg.Banks),
+		banks:      make([]timeline.Timeline, cfg.Banks),
 		requests:   make([]uint64, cfg.Cores),
 		waitCycles: make([]uint64, cfg.Cores),
 	}
@@ -68,15 +79,17 @@ func (v *VPC) Config() Config { return v.cfg }
 func (v *VPC) BankOf(set int) int { return set & (v.cfg.Banks - 1) }
 
 // Schedule admits a request from core to bank arriving at time now and
-// returns when the bank starts serving it. The bank is then busy for
-// ServiceCycles.
+// returns when the bank starts serving it. The bank is reserved for
+// ServiceCycles from the start time. Arrival times need not be monotonic:
+// a request is placed in the earliest free gap at or after its own arrival,
+// and its recorded wait is exactly start - now — time the bank was truly
+// occupied at the request's arrival — never time reserved by
+// later-timestamped requests that happened to be presented first.
 func (v *VPC) Schedule(core, bank int, now uint64) (start uint64) {
-	start = now
-	if v.bankFree[bank] > start {
-		v.waitCycles[core] += v.bankFree[bank] - start
-		start = v.bankFree[bank]
+	start = v.banks[bank].Place(now, v.cfg.ServiceCycles)
+	if start > now {
+		v.waitCycles[core] += start - now
 	}
-	v.bankFree[bank] = start + v.cfg.ServiceCycles
 	v.requests[core]++
 	return start
 }

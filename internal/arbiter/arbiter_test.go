@@ -71,6 +71,62 @@ func TestBackToBackPipelining(t *testing.T) {
 	}
 }
 
+// TestOutOfOrderArrivalNotChargedForFutureReservations is the regression
+// test for the non-monotonic-timeline bug: a logically-earlier request
+// presented after a later-timestamped one must not wait behind bank time
+// reserved for the future.
+func TestOutOfOrderArrivalNotChargedForFutureReservations(t *testing.T) {
+	v := New(Default(2))
+	if start := v.Schedule(0, 1, 100); start != 100 {
+		t.Fatalf("future request start = %d, want 100", start)
+	}
+	// Core 1's request carries an earlier timestamp but arrives second. The
+	// bank was idle over [0, 100); it must be served immediately, wait 0.
+	if start := v.Schedule(1, 1, 0); start != 0 {
+		t.Fatalf("out-of-order early request start = %d, want 0", start)
+	}
+	if v.WaitCycles(1) != 0 {
+		t.Fatalf("early request charged %d wait cycles for a future reservation", v.WaitCycles(1))
+	}
+}
+
+// TestWaitAccountingNeverDoubleCounts feeds one bank an out-of-order
+// timestamp mix and checks the books balance exactly: every request's wait
+// equals its start minus its arrival, each start is unique and
+// ServiceCycles-aligned with no overlap, and the per-core totals are the sum
+// of the individual waits — nothing counted twice.
+func TestWaitAccountingNeverDoubleCounts(t *testing.T) {
+	cfg := Default(2)
+	v := New(cfg)
+	arrivals := []struct {
+		core int
+		now  uint64
+	}{
+		{0, 40}, {1, 0}, {0, 1}, {1, 41}, {0, 2}, {1, 100}, {0, 99},
+	}
+	starts := map[uint64]bool{}
+	wantWait := []uint64{0, 0}
+	for _, a := range arrivals {
+		start := v.Schedule(a.core, 0, a.now)
+		if start < a.now {
+			t.Fatalf("start %d before arrival %d", start, a.now)
+		}
+		for s := range starts {
+			if start < s+cfg.ServiceCycles && s < start+cfg.ServiceCycles {
+				t.Fatalf("service windows overlap: starts %d and %d", s, start)
+			}
+		}
+		starts[start] = true
+		wantWait[a.core] += start - a.now
+	}
+	for core := 0; core < 2; core++ {
+		if v.WaitCycles(core) != wantWait[core] {
+			t.Fatalf("core %d wait = %d, want %d (sum of per-request waits)",
+				core, v.WaitCycles(core), wantWait[core])
+		}
+	}
+}
+
 func TestMeanWaitAndReset(t *testing.T) {
 	v := New(Default(2))
 	v.Schedule(0, 0, 0)

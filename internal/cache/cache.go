@@ -175,8 +175,13 @@ type Cache struct {
 	cfg      Config
 	setShift uint // log2(sets)
 	lines    []Line
-	policy   ReplacementPolicy
-	stats    Stats
+	// tags mirrors lines[i].Tag in a dense array so the per-way tag-match
+	// scan — the innermost loop of the simulator — touches half the memory
+	// and performs one comparison per way. A tags entry may be stale for an
+	// invalid line, so a match is confirmed against lines[i].Valid.
+	tags   []uint64
+	policy ReplacementPolicy
+	stats  Stats
 }
 
 // New builds a cache. It panics on invalid configuration (construction
@@ -192,6 +197,7 @@ func New(cfg Config, p ReplacementPolicy) *Cache {
 		cfg:      cfg,
 		setShift: uint(bits.TrailingZeros(uint(cfg.Geometry.Sets))),
 		lines:    make([]Line, cfg.Geometry.Sets*cfg.Geometry.Ways),
+		tags:     make([]uint64, cfg.Geometry.Sets*cfg.Geometry.Ways),
 		policy:   p,
 		stats:    newStats(cfg.Geometry.Cores),
 	}
@@ -226,13 +232,38 @@ func (c *Cache) line(set, way int) *Line {
 	return &c.lines[set*c.cfg.Geometry.Ways+way]
 }
 
+// setLines returns the set's lines as one subslice, hoisting the index
+// arithmetic and bounds checks out of the per-way tag-match loops — the
+// innermost loops of the whole simulator.
+func (c *Cache) setLines(set int) []Line {
+	base := set * c.cfg.Geometry.Ways
+	return c.lines[base : base+c.cfg.Geometry.Ways]
+}
+
+// setTags is setLines for the dense tag mirror.
+func (c *Cache) setTags(set int) []uint64 {
+	base := set * c.cfg.Geometry.Ways
+	return c.tags[base : base+c.cfg.Geometry.Ways]
+}
+
+// findWay scans one set for a valid line holding tag, returning its way or
+// -1. Stale tag-mirror matches on invalid lines are skipped.
+func (c *Cache) findWay(set int, tag uint64) int {
+	tags := c.setTags(set)
+	lines := c.setLines(set)
+	for w := range tags {
+		if tags[w] == tag && lines[w].Valid {
+			return w
+		}
+	}
+	return -1
+}
+
 // Lookup reports whether block is present, without updating any state.
 func (c *Cache) Lookup(block uint64) (way int, ok bool) {
 	set, tag := c.SetOf(block), c.TagOf(block)
-	for w := 0; w < c.cfg.Geometry.Ways; w++ {
-		if ln := c.line(set, w); ln.Valid && ln.Tag == tag {
-			return w, true
-		}
+	if w := c.findWay(set, tag); w >= 0 {
+		return w, true
 	}
 	return -1, false
 }
@@ -249,20 +280,18 @@ func (c *Cache) Access(a *Access) Result {
 		c.stats.DemandAccesses[a.Core]++
 	}
 
-	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+	if w := c.findWay(set, tag); w >= 0 {
 		ln := c.line(set, w)
-		if ln.Valid && ln.Tag == tag {
-			res := Result{Hit: true}
-			if a.Demand && ln.Prefetch {
-				ln.Prefetch = false
-				res.PrefetchHit = true
-			}
-			if a.Write {
-				ln.Dirty = true
-			}
-			c.policy.OnHit(a, set, w)
-			return res
+		res := Result{Hit: true}
+		if a.Demand && ln.Prefetch {
+			ln.Prefetch = false
+			res.PrefetchHit = true
 		}
+		if a.Write {
+			ln.Dirty = true
+		}
+		c.policy.OnHit(a, set, w)
+		return res
 	}
 
 	// Miss.
@@ -301,6 +330,7 @@ func (c *Cache) Access(a *Access) Result {
 		Core:     uint8(a.Core),
 		Prefetch: !a.Demand && !a.Writeback,
 	}
+	c.setTags(set)[way] = tag
 	if victim.Prefetch {
 		c.stats.PrefetchFills[a.Core]++
 	}
@@ -317,13 +347,10 @@ func (c *Cache) Access(a *Access) Result {
 func (c *Cache) WritebackNoAllocate(a *Access) (hit bool) {
 	set, tag := c.SetOf(a.Block), c.TagOf(a.Block)
 	c.stats.Accesses[a.Core]++
-	for w := 0; w < c.cfg.Geometry.Ways; w++ {
-		ln := c.line(set, w)
-		if ln.Valid && ln.Tag == tag {
-			ln.Dirty = true
-			c.policy.OnHit(a, set, w)
-			return true
-		}
+	if w := c.findWay(set, tag); w >= 0 {
+		c.line(set, w).Dirty = true
+		c.policy.OnHit(a, set, w)
+		return true
 	}
 	c.stats.Misses[a.Core]++
 	return false
@@ -333,14 +360,13 @@ func (c *Cache) WritebackNoAllocate(a *Access) (hit bool) {
 // policy. Used by tests and by non-inclusive hierarchy plumbing.
 func (c *Cache) Invalidate(block uint64) (was Line, ok bool) {
 	set, tag := c.SetOf(block), c.TagOf(block)
-	for w := 0; w < c.cfg.Geometry.Ways; w++ {
+	if w := c.findWay(set, tag); w >= 0 {
 		ln := c.line(set, w)
-		if ln.Valid && ln.Tag == tag {
-			was = *ln
-			c.policy.OnEvict(set, w, EvictedLine{Block: block, Core: int(ln.Core), Dirty: ln.Dirty})
-			*ln = Line{}
-			return was, true
-		}
+		was = *ln
+		c.policy.OnEvict(set, w, EvictedLine{Block: block, Core: int(ln.Core), Dirty: ln.Dirty})
+		*ln = Line{}
+		c.setTags(set)[w] = 0
+		return was, true
 	}
 	return Line{}, false
 }

@@ -11,24 +11,24 @@ func TestTimedPoolFreeEntryNoDelay(t *testing.T) {
 	if start := p.Reserve(100); start != 100 {
 		t.Fatalf("Reserve with free entries delayed: %d", start)
 	}
-	p.Occupy(200)
+	p.Occupy(100, 200)
 	if start := p.Reserve(100); start != 100 {
 		t.Fatalf("second Reserve with a free entry delayed: %d", start)
 	}
-	p.Occupy(300)
+	p.Occupy(100, 300)
 }
 
 func TestTimedPoolFullDelaysToEarliest(t *testing.T) {
 	p := NewTimedPool(2)
 	p.Reserve(0)
-	p.Occupy(50)
+	p.Occupy(0, 50)
 	p.Reserve(0)
-	p.Occupy(80)
+	p.Occupy(0, 80)
 	// Pool full; a request at t=10 must wait for the earliest drain (50).
 	if start := p.Reserve(10); start != 50 {
 		t.Fatalf("Reserve on full pool returned %d, want 50", start)
 	}
-	p.Occupy(90)
+	p.Occupy(10, 90)
 	if p.StallCycles() != 40 {
 		t.Fatalf("stall cycles = %d, want 40", p.StallCycles())
 	}
@@ -37,7 +37,7 @@ func TestTimedPoolFullDelaysToEarliest(t *testing.T) {
 func TestTimedPoolExpiredEntryNoDelay(t *testing.T) {
 	p := NewTimedPool(1)
 	p.Reserve(0)
-	p.Occupy(5)
+	p.Occupy(0, 5)
 	// At t=10 the single entry has drained; no delay.
 	if start := p.Reserve(10); start != 10 {
 		t.Fatalf("Reserve after drain returned %d, want 10", start)
@@ -47,11 +47,54 @@ func TestTimedPoolExpiredEntryNoDelay(t *testing.T) {
 	}
 }
 
+// TestTimedPoolOutOfOrderArrivalNotStalledByFutureClaims is the regression
+// test for non-monotonic timestamps reaching a shared pool: an entry
+// claimed by a logically-later request must not stall a logically-earlier
+// one.
+func TestTimedPoolOutOfOrderArrivalNotStalledByFutureClaims(t *testing.T) {
+	p := NewTimedPool(1)
+	p.Reserve(1000)
+	p.Occupy(1000, 1200) // claimed by a request arriving at t=1000
+	// A request arriving at t=5 precedes that claim: FCFS serves it at 5.
+	if start := p.Reserve(5); start != 5 {
+		t.Fatalf("earlier request served at %d, want 5", start)
+	}
+	if p.StallCycles() != 0 {
+		t.Fatalf("earlier request charged %d stall cycles for a future claim", p.StallCycles())
+	}
+	p.Occupy(5, 100)
+	// A request at t=1100 queues behind the [5,100) claim? No — that drained
+	// at 100; it is served immediately.
+	if start := p.Reserve(1100); start != 1100 {
+		t.Fatalf("post-drain request served at %d, want 1100", start)
+	}
+	p.Occupy(1100, 1300)
+}
+
+// TestTimedPoolQueuedEarlierRequestStillBlocks pins the FCFS half of the
+// rule: an occupation claimed by an *earlier* arrival blocks a later
+// request even if its busy window starts in the future.
+func TestTimedPoolQueuedEarlierRequestStillBlocks(t *testing.T) {
+	p := NewTimedPool(1)
+	p.Reserve(0)
+	p.Occupy(0, 100)
+	// Arrives at 10, stalls to 100, occupies [100, 200): a queued claim.
+	if start := p.Reserve(10); start != 100 {
+		t.Fatalf("queued request served at %d, want 100", start)
+	}
+	p.Occupy(10, 200)
+	// Arrives at 20 — after the t=10 request — and must wait behind it.
+	if start := p.Reserve(20); start != 200 {
+		t.Fatalf("later request served at %d, want 200 (behind the t=10 claim)", start)
+	}
+	p.Occupy(20, 300)
+}
+
 func TestTimedPoolBusyAt(t *testing.T) {
 	p := NewTimedPool(4)
 	for _, until := range []uint64{10, 20, 30} {
 		p.Reserve(0)
-		p.Occupy(until)
+		p.Occupy(0, until)
 	}
 	if got := p.BusyAt(15); got != 2 {
 		t.Fatalf("BusyAt(15) = %d, want 2", got)
@@ -64,16 +107,16 @@ func TestTimedPoolBusyAt(t *testing.T) {
 	}
 }
 
-func TestTimedPoolOccupyOverCapacityPanics(t *testing.T) {
+func TestTimedPoolOccupyWithoutReservePanics(t *testing.T) {
 	p := NewTimedPool(1)
 	p.Reserve(0)
-	p.Occupy(1)
+	p.Occupy(0, 1)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Occupy over capacity did not panic")
+			t.Fatal("Occupy without Reserve did not panic")
 		}
 	}()
-	p.Occupy(2)
+	p.Occupy(0, 2)
 }
 
 func TestTimedPoolZeroCapacityPanics(t *testing.T) {
@@ -85,9 +128,11 @@ func TestTimedPoolZeroCapacityPanics(t *testing.T) {
 	NewTimedPool(0)
 }
 
-// TestTimedPoolHeapProperty drives the pool with random occupy times and
-// verifies Reserve always pops the globally earliest busy-until time, by
-// comparing against a sorted reference model.
+// TestTimedPoolHeapProperty drives the pool with random occupy times under
+// in-order (all-at-zero) arrivals and verifies Reserve always pops the
+// globally earliest busy-until time, by comparing against a sorted
+// reference model. With monotone arrivals the FCFS rule never fires, so the
+// pool must behave exactly like the classic k-entry availability heap.
 func TestTimedPoolHeapProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
@@ -97,7 +142,7 @@ func TestTimedPoolHeapProperty(t *testing.T) {
 		p := NewTimedPool(capacity)
 		var model []uint64 // busy-until times, reference
 		for _, r := range raw {
-			until := uint64(r)
+			until := uint64(r) + 1 // nondegenerate window from arrival 0
 			start := p.Reserve(0)
 			if len(model) < capacity {
 				if start != 0 {
@@ -111,7 +156,7 @@ func TestTimedPoolHeapProperty(t *testing.T) {
 					return false
 				}
 			}
-			p.Occupy(until)
+			p.Occupy(0, until)
 			model = append(model, until)
 		}
 		return true
@@ -124,9 +169,9 @@ func TestTimedPoolHeapProperty(t *testing.T) {
 func TestTimedPoolResetStats(t *testing.T) {
 	p := NewTimedPool(1)
 	p.Reserve(0)
-	p.Occupy(100)
+	p.Occupy(0, 100)
 	p.Reserve(0) // stalls 100
-	p.Occupy(200)
+	p.Occupy(0, 200)
 	if p.StallCycles() == 0 || p.Reservations() != 2 {
 		t.Fatal("expected recorded stalls and reservations")
 	}

@@ -17,6 +17,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/trace"
 )
@@ -62,6 +63,13 @@ type Core struct {
 	gen trace.Generator
 	mem MemSystem
 
+	// Retirement-width fast path: when Width is a power of two the clock
+	// advance divides by shift/mask instead of hardware division (the
+	// hottest arithmetic in the whole simulator).
+	widthShift uint
+	widthMask  uint64
+	widthPow2  bool
+
 	clock   uint64
 	retired uint64
 	slack   uint64 // sub-cycle accumulation of non-mem instructions
@@ -92,7 +100,13 @@ func New(cfg Config, gen trace.Generator, mem MemSystem) *Core {
 	if gen == nil || mem == nil {
 		panic("cpu: nil generator or memory system")
 	}
-	return &Core{cfg: cfg, gen: gen, mem: mem, loads: make([]inflight, cfg.MaxOutstanding)}
+	c := &Core{cfg: cfg, gen: gen, mem: mem, loads: make([]inflight, cfg.MaxOutstanding)}
+	if w := uint64(cfg.Width); w&(w-1) == 0 {
+		c.widthPow2 = true
+		c.widthShift = uint(bits.TrailingZeros64(w))
+		c.widthMask = w - 1
+	}
+	return c
 }
 
 // oldest returns the ring's front entry; callers must check loadCount > 0.
@@ -129,8 +143,13 @@ func (c *Core) StallCycles() uint64 { return c.stallCycles }
 func (c *Core) advance(n uint64) {
 	c.retired += n
 	c.slack += n
-	c.clock += c.slack / uint64(c.cfg.Width)
-	c.slack %= uint64(c.cfg.Width)
+	if c.widthPow2 {
+		c.clock += c.slack >> c.widthShift
+		c.slack &= c.widthMask
+	} else {
+		c.clock += c.slack / uint64(c.cfg.Width)
+		c.slack %= uint64(c.cfg.Width)
+	}
 }
 
 // drainOldest stalls the core until its oldest load completes.
@@ -178,11 +197,42 @@ func (c *Core) Step() uint64 {
 		c.loadIssued++
 		c.pushLoad(inflight{instr: c.retired, done: done})
 	}
-	c.retired++ // the memory instruction itself
-	c.slack++
-	c.clock += c.slack / uint64(c.cfg.Width)
-	c.slack %= uint64(c.cfg.Width)
+	c.advance(1) // the memory instruction itself
 	return c.clock
+}
+
+// RunBatch executes Steps until a stop condition fires and returns the
+// core's clock. It is the bounded-step API the event loop in internal/sim
+// batches through: the loop proves a core is the globally earliest runnable
+// core and lets it run — without per-step heap traffic — exactly as long as
+// that proof holds. Stop conditions:
+//
+//   - the clock passes limit: clock > limit, or clock >= limit when
+//     yieldAtTie (the runner-up core wins clock ties, so equality means
+//     this core is no longer first);
+//   - retireAt > 0 and the retired-instruction count reaches retireAt
+//     (the caller records the crossing point before letting the core run
+//     on);
+//   - maxSteps > 0 and exactly maxSteps steps have executed.
+//
+// Stopping early is always safe: re-invoking with the same conditions
+// continues the identical step sequence, which is what makes simulation
+// results independent of how the caller sizes its batches.
+func (c *Core) RunBatch(limit uint64, yieldAtTie bool, maxSteps int, retireAt uint64) uint64 {
+	steps := 0
+	for {
+		clock := c.Step()
+		if retireAt > 0 && c.retired >= retireAt {
+			return clock
+		}
+		if clock > limit || (yieldAtTie && clock >= limit) {
+			return clock
+		}
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			return clock
+		}
+	}
 }
 
 // Drain stalls until all outstanding loads have completed; used when

@@ -81,6 +81,19 @@ func (f Fig3Result) Table(title string) Table {
 	return t
 }
 
+// SubstrateTable renders the arbiter-wait diagnostic for the 16-core study:
+// the per-app mean VPC queueing delay under the baseline and every compared
+// policy, from AppResult.ArbiterMeanWait.
+func (f Fig3Result) SubstrateTable() Table {
+	keys := []string{Baseline.Key}
+	for _, p := range ComparisonSpecs() {
+		if _, ok := f.Runs.ByPolicy[p.Key]; ok {
+			keys = append(keys, p.Key)
+		}
+	}
+	return f.Runs.ArbiterWaitTable("Substrate — per-app mean arbiter wait (16-core)", keys)
+}
+
 // Fig45Tables renders Figures 4 (thrashing applications) and 5 (non-
 // thrashing) from the 16-core runs: per-application MPKI reduction and IPC
 // speed-up of each policy versus TA-DRRIP.

@@ -59,3 +59,58 @@ func sortedNames(m map[string]*AppDelta) []string {
 	sort.Strings(out)
 	return out
 }
+
+// ArbiterWaitTable renders the per-application mean queueing delay at the
+// VPC arbiter (cycles per LLC request, AppResult.ArbiterMeanWait) under
+// each listed policy, averaged over the application's occurrences in the
+// study's mixes. It is the substrate-fairness diagnostic of the shared-LLC
+// timing model: uneven waits mean the banks, not the replacement policy,
+// are redistributing performance.
+func (s StudyRuns) ArbiterWaitTable(title string, keys []string) Table {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	perApp := map[string]map[string]*acc{} // app -> policy -> accumulator
+	for _, k := range keys {
+		for _, run := range s.ByPolicy[k] {
+			for slot, name := range run.Mix.Names {
+				byPol := perApp[name]
+				if byPol == nil {
+					byPol = map[string]*acc{}
+					perApp[name] = byPol
+				}
+				a := byPol[k]
+				if a == nil {
+					a = &acc{}
+					byPol[k] = a
+				}
+				a.sum += run.Result.Apps[slot].ArbiterMeanWait
+				a.n++
+			}
+		}
+	}
+	names := make([]string, 0, len(perApp))
+	for n := range perApp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	t := Table{
+		Title:  title,
+		Note:   "mean VPC-arbiter queueing delay per LLC request, cycles (per app, averaged over mixes)",
+		Header: append([]string{"app"}, keys...),
+	}
+	for _, name := range names {
+		row := []string{name}
+		for _, k := range keys {
+			if a := perApp[name][k]; a != nil && a.n > 0 {
+				row = append(row, f3(a.sum/float64(a.n)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

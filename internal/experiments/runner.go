@@ -227,7 +227,10 @@ func (r *Runner) AloneIPC(name string) float64 {
 // baselines for each benchmark that appears. Each pair becomes a scheduler
 // job keyed by its fully-configured machine, so identical pairs requested
 // by other harnesses (or earlier runs against a disk cache) are not
-// re-simulated. Options.Parallelism bounds this harness's in-flight
+// re-simulated. The solo-IPC baselines are submitted through the same
+// fan-out as the (mix, policy) grid rather than trailing it sequentially,
+// so they overlap the grid's longest simulations instead of serialising
+// after them. Options.Parallelism bounds this harness's in-flight
 // submissions; the scheduler's pool bounds the process.
 func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 	mixes := r.Opt.mixes(study)
@@ -241,7 +244,25 @@ func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 		out.ByPolicy[p.Key] = make([]MixRun, len(mixes))
 	}
 
-	r.Opt.forEach(len(mixes)*len(pols), func(i int) {
+	// Unique benchmark names, first-appearance order.
+	var names []string
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		for _, n := range m.Names {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+
+	grid := len(mixes) * len(pols)
+	alone := make([]float64, len(names))
+	r.Opt.forEach(grid+len(names), func(i int) {
+		if i >= grid {
+			alone[i-grid] = r.AloneIPC(names[i-grid])
+			return
+		}
 		mi, pi := i/len(pols), i%len(pols)
 		mix := mixes[mi]
 		p := pols[pi]
@@ -258,14 +279,8 @@ func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 		})
 		out.ByPolicy[p.Key][mi] = MixRun{Mix: mix, Result: res}
 	})
-
-	// Solo baselines (sequential; the scheduler makes repeats free).
-	for _, m := range mixes {
-		for _, n := range m.Names {
-			if _, ok := out.Alone[n]; !ok {
-				out.Alone[n] = r.AloneIPC(n)
-			}
-		}
+	for i, n := range names {
+		out.Alone[n] = alone[i]
 	}
 	return out
 }

@@ -7,9 +7,23 @@
 // Exactly as the paper states ("we use memory model for our study like [2]:
 // only row-hits and row-conflicts are modeled"), this is a timing model of
 // bank occupancy and row-buffer locality only — no command/bus scheduling.
+//
+// Requests reach a DRAM bank with timestamps that are not globally
+// monotonic (demand fills and write-backs from different cores carry
+// computed future times), so each bank's occupancy is a busy-interval
+// reservation timeline (internal/timeline) rather than a single busy-until
+// mark: a request is served in the earliest gap at or after its own arrival
+// and its queueing delay never includes bank time reserved by
+// logically-later requests. Row-buffer state is still updated in
+// presentation order — an accepted approximation, since the row buffer is a
+// prediction structure, not a timing invariant.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/timeline"
+)
 
 // Config describes the memory system. Latencies are what a request waits
 // for its data; occupancies are how long the bank stays unavailable to the
@@ -89,7 +103,7 @@ type DDR2 struct {
 	bankMask     uint64
 	openRow      []uint64
 	hasOpen      []bool
-	busyUntil    []uint64
+	banks        []timeline.Timeline
 	stats        Stats
 }
 
@@ -104,7 +118,7 @@ func New(cfg Config) *DDR2 {
 		bankMask:     uint64(cfg.Banks - 1),
 		openRow:      make([]uint64, cfg.Banks),
 		hasOpen:      make([]bool, cfg.Banks),
-		busyUntil:    make([]uint64, cfg.Banks),
+		banks:        make([]timeline.Timeline, cfg.Banks),
 	}
 }
 
@@ -130,14 +144,12 @@ func (m *DDR2) Map(block uint64) (bank int, row uint64) {
 // Access performs one memory access at time now, returning its completion
 // time (data availability) and whether it hit the open row. The bank is
 // occupied for the occupancy window only, so row-buffer hits pipeline at
-// the burst rate behind the first access's latency.
+// the burst rate behind the first access's latency. Arrival times need not
+// be monotonic: the access is served in the earliest bank gap at or after
+// now, and QueueCycles records only time the bank was genuinely occupied at
+// the access's own arrival.
 func (m *DDR2) Access(now uint64, block uint64, write bool) (done uint64, rowHit bool) {
 	bank, row := m.Map(block)
-	start := now
-	if m.busyUntil[bank] > start {
-		m.stats.QueueCycles += m.busyUntil[bank] - start
-		start = m.busyUntil[bank]
-	}
 	rowHit = m.hasOpen[bank] && m.openRow[bank] == row
 	lat, busy := m.cfg.RowConflictLatency, m.cfg.RowConflOccupancy
 	if rowHit {
@@ -145,6 +157,10 @@ func (m *DDR2) Access(now uint64, block uint64, write bool) (done uint64, rowHit
 		m.stats.RowHits++
 	} else {
 		m.stats.RowConflicts++
+	}
+	start := m.banks[bank].Place(now, busy)
+	if start > now {
+		m.stats.QueueCycles += start - now
 	}
 	m.stats.Accesses++
 	if write {
@@ -155,6 +171,5 @@ func (m *DDR2) Access(now uint64, block uint64, write bool) (done uint64, rowHit
 	m.openRow[bank] = row
 	m.hasOpen[bank] = true
 	done = start + lat
-	m.busyUntil[bank] = start + busy
 	return done, rowHit
 }

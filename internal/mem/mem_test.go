@@ -197,6 +197,24 @@ func TestRandomAccessesMostlyConflict(t *testing.T) {
 	}
 }
 
+func TestOutOfOrderArrivalUsesIdleGap(t *testing.T) {
+	// A request timestamped in the future must not make a logically-earlier
+	// request queue behind it: the earlier request is served in the idle gap
+	// and charged no queueing delay.
+	// Same bank: block 1 maps with block 0.
+	m2 := New(Default())
+	m2.Access(10_000, 0, false)
+	q0 := m2.Stats().QueueCycles
+	done2, _ := m2.Access(0, 1, false) // same row, same bank, idle at t=0
+	if m2.Stats().QueueCycles != q0 {
+		t.Fatalf("early same-bank request charged %d queue cycles for a future reservation",
+			m2.Stats().QueueCycles-q0)
+	}
+	if done2 > 1_000 {
+		t.Fatalf("early same-bank request done=%d, served after the future window", done2)
+	}
+}
+
 func TestStatsReadsWritesAndReset(t *testing.T) {
 	m := New(Default())
 	m.Access(0, 0, false)

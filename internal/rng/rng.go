@@ -14,7 +14,10 @@
 // of 2^64 and costs a handful of arithmetic operations per output.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic splitmix64 pseudo-random number generator.
 // The zero value is a valid generator seeded with 0; prefer New to make the
@@ -146,19 +149,9 @@ func (s *Source) Fork() *Source {
 	return New(s.Uint64() ^ 0xD1B54A32D192ED03)
 }
 
-// mul128 returns the 128-bit product of a and b as (hi, lo).
+// mul128 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to the single widening-multiply instruction on every 64-bit
+// target, which matters because every bounded draw performs one.
 func mul128(a, b uint64) (hi, lo uint64) {
-	const mask = 0xFFFFFFFF
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid := t & mask
-	hiPart := t >> 32
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	hi = aHi*bHi + hiPart + (t >> 32)
-	return hi, lo
+	return bits.Mul64(a, b)
 }

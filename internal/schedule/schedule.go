@@ -35,8 +35,15 @@ import (
 )
 
 // KeySchema versions Job.Key. It folds in sim.FingerprintSchema so a
-// change to the config encoding invalidates disk caches automatically.
-const KeySchema = "job/v1+" + sim.FingerprintSchema
+// change to the config encoding invalidates disk caches automatically; the
+// job version itself must be bumped whenever the *simulation semantics* for
+// an unchanged config change, so stale disk-cache entries strand instead of
+// silently mixing with fresh results.
+//
+// v2: batch-invariant event loop and out-of-order-correct shared-resource
+// timing (busy-interval timelines, FCFS pools); results for identical
+// configs differ from v1.
+const KeySchema = "job/v2+" + sim.FingerprintSchema
 
 // Job is one simulation request: a fully-configured machine (any
 // PolicySpec.Configure mutation already applied), a workload, and the

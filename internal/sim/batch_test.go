@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// TestBatchInvariance is the acceptance test of the batch-invariant event
+// loop: the same 4-core mix must produce a bit-identical Result — exact
+// uint64/float64 equality, compared through the Result fingerprint — for
+// every batch cap, including the adaptive default (0) and a cap far larger
+// than any inter-core slack.
+func TestBatchInvariance(t *testing.T) {
+	cfg := quickConfig(4)
+	names := []string{"calc", "mcf", "libq", "gcc"}
+	run := func(maxBatch int) Result {
+		s := NewFromNames(cfg, names)
+		s.SetMaxBatch(maxBatch)
+		return s.Run(10_000, 50_000)
+	}
+	want := run(1)
+	wantFP := want.Fingerprint()
+	for _, mb := range []int{8, 64, 1024, 0} {
+		got := run(mb)
+		if fp := got.Fingerprint(); fp != wantFP {
+			for i := range want.Apps {
+				if want.Apps[i] != got.Apps[i] {
+					t.Errorf("maxBatch=%d: app %d diverged:\n  batch=1: %+v\n  batch=%d: %+v",
+						mb, i, want.Apps[i], mb, got.Apps[i])
+				}
+			}
+			t.Fatalf("maxBatch=%d: result fingerprint %s != %s (maxBatch=1)", mb, fp, wantFP)
+		}
+	}
+}
+
+// TestBatchInvarianceAcrossPolicies widens the net: batch caps 1 and 0
+// (adaptive) must agree under policies with very different LLC mutation
+// patterns, on a mix whose apps finish at different times (exercising the
+// freeze-and-keep-running path).
+func TestBatchInvarianceAcrossPolicies(t *testing.T) {
+	names := []string{"eon", "lbm", "libq", "STRM"}
+	for _, pol := range []string{"lru", "tadrrip", "adapt", "ship", "eaf"} {
+		cfg := quickConfig(4)
+		cfg.LLCPolicy = pol
+		run := func(maxBatch int) string {
+			s := NewFromNames(cfg, names)
+			s.SetMaxBatch(maxBatch)
+			return s.Run(5_000, 30_000).Fingerprint()
+		}
+		if a, b := run(1), run(0); a != b {
+			t.Errorf("%s: adaptive batching diverges from single-step execution", pol)
+		}
+	}
+}
+
+// TestResultFingerprintDistinguishes guards the comparison tool itself: the
+// fingerprint must differ when results differ.
+func TestResultFingerprintDistinguishes(t *testing.T) {
+	a := Result{Apps: []AppResult{{Instructions: 1, IPC: 1.5}}}
+	b := Result{Apps: []AppResult{{Instructions: 1, IPC: 1.5000001}}}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to float changes")
+	}
+}

@@ -33,6 +33,21 @@ func (c Config) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ResultFingerprintSchema versions the canonical Result encoding used by
+// Result.Fingerprint.
+const ResultFingerprintSchema = "sim-result/v1"
+
+// Fingerprint returns a stable hex digest of every field of the Result,
+// exact to the last bit (floats are encoded losslessly). Two Results with
+// equal fingerprints are identical; the batch-invariance and determinism
+// tests compare runs through it.
+func (r Result) Fingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, ResultFingerprintSchema)
+	fingerprintValue(h, reflect.ValueOf(r))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // fingerprintValue writes a canonical encoding of v. Field names and
 // explicit delimiters make the encoding prefix-free enough that distinct
 // configs cannot collide by concatenation accidents. Unsupported kinds

@@ -19,13 +19,17 @@ type AppResult struct {
 	LLCDemandAccesses uint64
 	LLCDemandMisses   uint64
 	LLCBypasses       uint64
+
+	// ArbiterMeanWait is the application's mean queueing delay (cycles per
+	// request) at the VPC arbiter in front of the LLC banks — the per-app
+	// fairness diagnostic of the shared-LLC substrate.
+	ArbiterMeanWait float64
 }
 
-// Result is one workload run.
+// Result is one workload run. DRAMRowHitRate and the per-app
+// ArbiterMeanWait fields summarise the substrate's behaviour (diagnostics).
 type Result struct {
-	Apps []AppResult
-	// DRAMRowHitRate and ArbiterMeanWait summarise the substrate's
-	// behaviour (diagnostics).
+	Apps           []AppResult
 	DRAMRowHitRate float64
 }
 
@@ -38,61 +42,103 @@ func (r Result) IPCs() []float64 {
 	return out
 }
 
-// coreHeap is a binary min-heap of core indices ordered by core clock.
-type coreHeap struct {
+// frontier is a binary min-heap of cores ordered lexicographically by
+// (clock, core index) — the event loop's execution order. The ordering is
+// total and deterministic, which is what makes clock ties (frequent, since
+// cores start aligned) batch-invariant.
+//
+// The loop's access pattern never needs push or pop: the root core runs
+// until it stops being the minimum, so each batch is one root-key update
+// plus one sift-down, and the runner-up — the batch limit — is read
+// directly off the root's children.
+type frontier struct {
 	clock []uint64
 	idx   []int
 }
 
-func (h *coreHeap) push(clock uint64, idx int) {
+// lessAt compares heap slots a and b under (clock, idx) order.
+func (h *frontier) lessAt(a, b int) bool {
+	return h.clock[a] < h.clock[b] ||
+		(h.clock[a] == h.clock[b] && h.idx[a] < h.idx[b])
+}
+
+// add appends a core before the first build; build establishes the heap.
+func (h *frontier) add(clock uint64, idx int) {
 	h.clock = append(h.clock, clock)
 	h.idx = append(h.idx, idx)
-	i := len(h.clock) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.clock[p] <= h.clock[i] {
-			break
-		}
-		h.clock[p], h.clock[i] = h.clock[i], h.clock[p]
-		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
-		i = p
+}
+
+func (h *frontier) build() {
+	for i := len(h.clock)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
 	}
 }
 
-func (h *coreHeap) pop() (uint64, int) {
-	clock, idx := h.clock[0], h.idx[0]
-	n := len(h.clock) - 1
-	h.clock[0], h.idx[0] = h.clock[n], h.idx[n]
-	h.clock, h.idx = h.clock[:n], h.idx[:n]
-	i := 0
+// updateRoot replaces the root's clock (it only ever grows) and restores
+// heap order.
+func (h *frontier) updateRoot(clock uint64) {
+	h.clock[0] = clock
+	h.siftDown(0)
+}
+
+func (h *frontier) siftDown(i int) {
+	n := len(h.clock)
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && h.clock[l] < h.clock[m] {
+		if l < n && h.lessAt(l, m) {
 			m = l
 		}
-		if r < n && h.clock[r] < h.clock[m] {
+		if r < n && h.lessAt(r, m) {
 			m = r
 		}
 		if m == i {
-			break
+			return
 		}
 		h.clock[i], h.clock[m] = h.clock[m], h.clock[i]
 		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
 		i = m
 	}
-	return clock, idx
 }
+
+// runnerUp returns the heap slot of the second core in (clock, idx) order —
+// always one of the root's children — or -1 for a single-core frontier.
+func (h *frontier) runnerUp() int {
+	switch {
+	case len(h.clock) < 2:
+		return -1
+	case len(h.clock) == 2 || h.lessAt(1, 2):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SetMaxBatch caps how many steps a core may execute per event-loop batch.
+// Zero (the default) is adaptive: a batch is bounded only by the inter-core
+// slack — the core runs exactly until it stops being the globally earliest
+// runnable core — which is both the fastest and the largest safe batch.
+// The cap exists for tests proving batch invariance: any positive value
+// yields bit-identical results to any other, because a capped batch simply
+// re-proves the same core is still earliest and continues the identical
+// step sequence.
+func (s *System) SetMaxBatch(n int) { s.maxBatch = n }
 
 // runUntilRetired advances cores in global-clock order until each has
 // retired at least target instructions. If freezeCycles/freezeInstr are
 // non-nil, a core's cycle count and retired-instruction count are recorded
 // the first time it crosses the target; cores keep running (to preserve
 // interference) until every core has crossed.
+//
+// Ordering contract: cores execute steps in strictly increasing
+// (clock, core-index) order — the core with the smallest local clock steps
+// next, and clock ties go to the smaller core index. Batching never relaxes
+// this: a core batches steps exactly while it would still be chosen by that
+// rule (its clock stays below the runner-up's, or equal with a smaller
+// index). The executed step sequence — and therefore every Result bit — is
+// thus independent of batch size; see TestBatchInvariance.
 func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint64) {
-	h := &coreHeap{}
-	remaining := 0
-	done := make([]bool, len(s.cores))
+	n := len(s.cores)
 	record := func(i int) {
 		if freezeCycles != nil {
 			freezeCycles[i] = s.cores[i].Clock()
@@ -101,43 +147,44 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 			freezeInstr[i] = s.cores[i].Retired()
 		}
 	}
+
+	// Participants: cores still short of target at entry. Cores that cross
+	// the target mid-run stay in the frontier (they keep executing to
+	// preserve contention) until every participant has crossed.
+	h := &frontier{}
+	done := make([]bool, n)
+	remaining := 0
 	for i, c := range s.cores {
 		if c.Retired() >= target {
 			done[i] = true
 			record(i)
 			continue
 		}
+		h.add(c.Clock(), i)
 		remaining++
-		h.push(c.Clock(), i)
 	}
-	// Batch: once a core is the globally earliest, let it run until its
-	// clock passes the next-earliest core (bounded), which cuts heap
-	// traffic by an order of magnitude without reordering shared-resource
-	// accesses beyond what the one-op granularity already allows.
-	const maxBatch = 64
+	h.build()
+
+	const noLimit = ^uint64(0)
 	for remaining > 0 {
-		_, i := h.pop()
-		c := s.cores[i]
-		limit := ^uint64(0)
-		if len(h.clock) > 0 {
-			limit = h.clock[0]
+		best := h.idx[0]
+		limit, yieldAtTie := noLimit, false
+		if ru := h.runnerUp(); ru >= 0 {
+			limit = h.clock[ru]
+			yieldAtTie = h.idx[ru] < best
 		}
-		var clock uint64
-		for steps := 0; ; steps++ {
-			clock = c.Step()
-			if !done[i] && c.Retired() >= target {
-				done[i] = true
-				remaining--
-				record(i)
-			}
-			if clock > limit || steps >= maxBatch || remaining == 0 {
-				break
-			}
+		retireAt := uint64(0)
+		if !done[best] {
+			retireAt = target
 		}
-		if remaining == 0 {
-			break
+
+		c := s.cores[best]
+		h.updateRoot(c.RunBatch(limit, yieldAtTie, s.maxBatch, retireAt))
+		if !done[best] && c.Retired() >= target {
+			done[best] = true
+			remaining--
+			record(best)
 		}
-		h.push(clock, i)
 	}
 }
 
@@ -179,6 +226,7 @@ func (s *System) Run(warmup, measure uint64) Result {
 			LLCDemandAccesses: llcStats.DemandAccesses[i],
 			LLCDemandMisses:   llcStats.DemandMisses[i],
 			LLCBypasses:       llcStats.Bypasses[i],
+			ArbiterMeanWait:   s.arb.MeanWait(i),
 		}
 		if cycles > 0 {
 			app.IPC = float64(instr) / float64(cycles)

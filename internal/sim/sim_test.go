@@ -235,6 +235,24 @@ func TestMixRunsEndToEnd(t *testing.T) {
 	}
 }
 
+func TestArbiterMeanWaitPopulated(t *testing.T) {
+	// Eight memory-intensive apps hammering 4 LLC banks must queue at the
+	// arbiter; the per-app diagnostic has to reflect it.
+	cfg := quickConfig(8)
+	names := []string{"libq", "lbm", "mcf", "milc", "libq", "lbm", "mcf", "milc"}
+	res := NewFromNames(cfg, names).Run(5_000, 40_000)
+	var total float64
+	for i, app := range res.Apps {
+		if app.ArbiterMeanWait < 0 {
+			t.Fatalf("app %d negative arbiter wait %v", i, app.ArbiterMeanWait)
+		}
+		total += app.ArbiterMeanWait
+	}
+	if total == 0 {
+		t.Fatal("ArbiterMeanWait zero for every app of a bank-contended mix; field not populated")
+	}
+}
+
 func TestBenchGeometryWiring(t *testing.T) {
 	cfg := quickConfig(2)
 	// NewFromSpecs must hand the spec the machine's LLC geometry; gob's

@@ -31,6 +31,10 @@ type System struct {
 	llcMSHR *cache.TimedPool
 	llcWB   *cache.TimedPool
 
+	// maxBatch caps steps per event-loop batch; 0 = adaptive (slack-
+	// bounded). See SetMaxBatch.
+	maxBatch int
+
 	// Scratch access records, reused across calls so that the policy
 	// interface calls do not force a heap allocation per cache level per
 	// memory reference. The simulator is single-goroutine by contract.
@@ -176,7 +180,8 @@ func (s *System) access(core int, now uint64, block uint64, write bool, pc uint6
 	}
 
 	// L2 miss: through the MSHRs and the arbiter to an LLC bank.
-	t3 := s.l2MSHR[core].Reserve(t2 + s.cfg.L2Latency)
+	missAt := t2 + s.cfg.L2Latency
+	t3 := s.l2MSHR[core].Reserve(missAt)
 	set := s.llc.SetOf(block)
 	start := s.arb.Schedule(core, s.arb.BankOf(set), t3)
 	t4 := start + s.cfg.LLCLatency
@@ -194,13 +199,13 @@ func (s *System) access(core int, now uint64, block uint64, write bool, pc uint6
 		// DRAM read (whether the LLC allocated or bypassed).
 		dramAt := s.llcMSHR.Reserve(t4)
 		done, _ := s.dram.Access(dramAt, block, false)
-		s.llcMSHR.Occupy(done)
+		s.llcMSHR.Occupy(t4, done)
 		data = done
 		if rl.EvictedValid && rl.Evicted.Dirty {
 			s.dirtyLLCVictimToDRAM(rl.Evicted.Block, t4)
 		}
 	}
-	s.l2MSHR[core].Occupy(data)
+	s.l2MSHR[core].Occupy(missAt, data)
 	return data
 }
 
@@ -230,7 +235,7 @@ func (s *System) writebackToLLC(core int, block uint64, now uint64) {
 		d, _ := s.dram.Access(done, block, true)
 		done = d
 	}
-	s.l2WB[core].Occupy(done)
+	s.l2WB[core].Occupy(now, done)
 }
 
 // dirtyLLCVictimToDRAM drains a dirty LLC victim through the LLC write-back
@@ -238,5 +243,5 @@ func (s *System) writebackToLLC(core int, block uint64, now uint64) {
 func (s *System) dirtyLLCVictimToDRAM(block uint64, now uint64) {
 	at := s.llcWB.Reserve(now)
 	done, _ := s.dram.Access(at, block, true)
-	s.llcWB.Occupy(done)
+	s.llcWB.Occupy(now, done)
 }

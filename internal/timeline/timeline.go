@@ -1,0 +1,153 @@
+// Package timeline provides a busy-interval reservation list for exclusive
+// timed resources — an LLC bank behind the VPC arbiter, a DRAM bank — whose
+// requests may arrive *out of global time order*.
+//
+// The simulator's event loop interleaves cores at one-op granularity: a core
+// issues a memory reference at its local clock, but the reference's
+// downstream accesses (L2 miss to an LLC bank, a write-back racing a demand
+// fill into DRAM) carry computed future timestamps. Two cores therefore
+// present a shared bank with timestamps that are not monotonic, and a
+// single "busy until" high-water mark mis-serves them twice over: a
+// logically-earlier request arriving late is queued behind bank time
+// reserved by logically-later requests (inflating its wait), and the idle
+// gap it should have used is lost forever.
+//
+// A Timeline instead records every reservation as a [start, end) busy
+// interval in a sorted list and places each new request into the earliest
+// gap at or after its arrival time. In-order request sequences behave
+// exactly like a high-water mark (each reservation abuts or follows the
+// previous ones, and the merged intervals collapse to a single tail), while
+// out-of-order requests fill the idle gaps they logically owned and are
+// never charged for bank time reserved after them.
+//
+// History is bounded: the list is capped, and when it overflows the oldest
+// intervals are dropped and a floor is raised; requests arriving below the
+// floor are clamped to it. The floor only moves when the cap is hit, which
+// in practice requires arrival skew far beyond anything the one-op event
+// loop produces.
+package timeline
+
+// DefaultCap is the interval-list bound used when New is given a
+// non-positive capacity. 256 intervals cover several thousand cycles of
+// sparse traffic, far beyond the arrival skew of the simulator's event loop.
+const DefaultCap = 256
+
+// Timeline is one exclusive resource's reservation list. The zero value is
+// a usable timeline with DefaultCap history; Timeline is not safe for
+// concurrent use.
+type Timeline struct {
+	starts []uint64 // sorted, pairwise-disjoint busy intervals
+	ends   []uint64
+	floor  uint64 // pruned-history boundary; arrivals below it are clamped
+	cap    int    // maximum interval count (0 = DefaultCap)
+}
+
+// New returns a timeline bounding its history to maxIntervals (DefaultCap
+// if maxIntervals <= 0).
+func New(maxIntervals int) *Timeline {
+	return &Timeline{cap: maxIntervals}
+}
+
+// Floor returns the pruned-history boundary: the earliest time a request
+// can still be placed at.
+func (t *Timeline) Floor() uint64 { return t.floor }
+
+// Intervals returns the number of busy intervals currently tracked.
+func (t *Timeline) Intervals() int { return len(t.starts) }
+
+// BusyAt reports whether the resource is reserved at time at.
+func (t *Timeline) BusyAt(at uint64) bool {
+	for i := range t.starts {
+		if t.starts[i] <= at && at < t.ends[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Place reserves the earliest interval of length dur starting at or after
+// now and returns its start time. The wait the caller should account is
+// start - now; it is zero whenever a sufficient gap exists at the arrival
+// time, regardless of how many later-timestamped reservations were made
+// before this call. dur == 0 reserves nothing and returns the (clamped)
+// arrival time.
+func (t *Timeline) Place(now, dur uint64) (start uint64) {
+	if now < t.floor {
+		now = t.floor
+	}
+	if dur == 0 {
+		return now
+	}
+
+	// First interval that ends after now; everything before it is history
+	// this request cannot overlap.
+	lo, hi := 0, len(t.starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.ends[mid] > now {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	// Walk forward until [start, start+dur) fits before the next interval.
+	i, n := lo, len(t.starts)
+	start = now
+	for i < n {
+		if start+dur <= t.starts[i] {
+			break
+		}
+		if t.ends[i] > start {
+			start = t.ends[i]
+		}
+		i++
+	}
+	t.insert(i, start, start+dur)
+	t.prune()
+	return start
+}
+
+// insert adds [s, e) at position i, merging with adjacent neighbours so
+// contiguous traffic collapses to one interval.
+func (t *Timeline) insert(i int, s, e uint64) {
+	joinLeft := i > 0 && t.ends[i-1] == s
+	joinRight := i < len(t.starts) && t.starts[i] == e
+	switch {
+	case joinLeft && joinRight:
+		t.ends[i-1] = t.ends[i]
+		t.starts = append(t.starts[:i], t.starts[i+1:]...)
+		t.ends = append(t.ends[:i], t.ends[i+1:]...)
+	case joinLeft:
+		t.ends[i-1] = e
+	case joinRight:
+		t.starts[i] = s
+	default:
+		t.starts = append(t.starts, 0)
+		t.ends = append(t.ends, 0)
+		copy(t.starts[i+1:], t.starts[i:])
+		copy(t.ends[i+1:], t.ends[i:])
+		t.starts[i], t.ends[i] = s, e
+	}
+}
+
+// prune drops the oldest half of the list once it exceeds its cap, raising
+// the floor to the end of the last dropped interval so the dropped history
+// stays unreservable. Dropping in bulk (rather than one interval per
+// insert) keeps the amortized cost of sparse in-order traffic — append,
+// occasionally halve — constant.
+func (t *Timeline) prune() {
+	max := t.cap
+	if max <= 0 {
+		max = DefaultCap
+	}
+	if len(t.starts) <= max {
+		return
+	}
+	k := len(t.starts) - max/2
+	t.floor = t.ends[k-1]
+	n := copy(t.starts, t.starts[k:])
+	copy(t.ends, t.ends[k:])
+	t.starts = t.starts[:n]
+	t.ends = t.ends[:n]
+}

@@ -1,0 +1,145 @@
+package timeline
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceOnEmpty(t *testing.T) {
+	tl := New(0)
+	if got := tl.Place(100, 4); got != 100 {
+		t.Fatalf("Place on empty timeline = %d, want 100", got)
+	}
+	if !tl.BusyAt(100) || !tl.BusyAt(103) || tl.BusyAt(104) {
+		t.Fatal("reserved interval [100,104) not tracked correctly")
+	}
+}
+
+func TestInOrderMatchesHighWaterMark(t *testing.T) {
+	// For nondecreasing arrivals the timeline must behave exactly like the
+	// old single busy-until mark: each request starts at max(now, prevEnd).
+	tl := New(0)
+	var mark uint64
+	arrivals := []uint64{0, 0, 3, 10, 10, 11, 200, 201, 1000}
+	for _, now := range arrivals {
+		want := now
+		if mark > want {
+			want = mark
+		}
+		got := tl.Place(now, 4)
+		if got != want {
+			t.Fatalf("Place(%d) = %d, want %d (high-water equivalent)", now, got, want)
+		}
+		mark = want + 4
+	}
+}
+
+func TestOutOfOrderFillsGap(t *testing.T) {
+	tl := New(0)
+	if got := tl.Place(100, 4); got != 100 {
+		t.Fatalf("first = %d", got)
+	}
+	// Logically earlier request arriving later: the bank was idle at 0, so
+	// no wait may be charged.
+	if got := tl.Place(0, 4); got != 0 {
+		t.Fatalf("out-of-order early request start = %d, want 0", got)
+	}
+	// A gap too small for dur must be skipped.
+	if got := tl.Place(98, 4); got != 104 {
+		t.Fatalf("request straddling [100,104) start = %d, want 104", got)
+	}
+}
+
+func TestAdjacentIntervalsMerge(t *testing.T) {
+	tl := New(0)
+	tl.Place(0, 4)
+	tl.Place(0, 4) // lands [4,8), merges left
+	tl.Place(8, 4) // abuts, merges
+	if n := tl.Intervals(); n != 1 {
+		t.Fatalf("contiguous traffic kept %d intervals, want 1", n)
+	}
+	tl.Place(100, 4)
+	if n := tl.Intervals(); n != 2 {
+		t.Fatalf("disjoint reservation gave %d intervals, want 2", n)
+	}
+	// Fill [12, 100) exactly: the bridge merges everything to one interval.
+	tl.Place(12, 88)
+	if n := tl.Intervals(); n != 1 {
+		t.Fatalf("bridging reservation left %d intervals, want 1", n)
+	}
+}
+
+func TestPruneRaisesFloor(t *testing.T) {
+	tl := New(4)
+	for i := uint64(0); i < 10; i++ {
+		tl.Place(i*100, 4) // disjoint: [0,4), [100,104), ...
+	}
+	if tl.Intervals() != 4 {
+		t.Fatalf("interval count %d exceeds cap 4", tl.Intervals())
+	}
+	if tl.Floor() == 0 {
+		t.Fatal("pruning never raised the floor")
+	}
+	// Requests below the floor clamp to it rather than reserving pruned
+	// history.
+	floor := tl.Floor()
+	if got := tl.Place(0, 4); got < floor {
+		t.Fatalf("Place(0) = %d reserved below floor %d", got, floor)
+	}
+}
+
+// TestNoOverlapProperty drives a timeline with random (arrival, duration)
+// pairs and checks that the resulting reservations never overlap and each
+// starts at the earliest feasible gap of a reference model.
+func TestNoOverlapProperty(t *testing.T) {
+	type iv struct{ s, e uint64 }
+	f := func(raw []uint16) bool {
+		tl := New(0)
+		var placed []iv
+		for k, r := range raw {
+			now := uint64(r % 512)
+			dur := uint64(r%7) + 1
+			got := tl.Place(now, dur)
+			// Reference: earliest start >= now not overlapping any placed
+			// interval.
+			sort.Slice(placed, func(i, j int) bool { return placed[i].s < placed[j].s })
+			want := now
+			for _, p := range placed {
+				if want+dur <= p.s {
+					break
+				}
+				if p.e > want {
+					want = p.e
+				}
+			}
+			if got != want {
+				t.Logf("step %d: Place(%d,%d) = %d, want %d", k, now, dur, got, want)
+				return false
+			}
+			placed = append(placed, iv{got, got + dur})
+			// Overlap check.
+			sort.Slice(placed, func(i, j int) bool { return placed[i].s < placed[j].s })
+			for i := 1; i < len(placed); i++ {
+				if placed[i].s < placed[i-1].e {
+					t.Logf("step %d: overlap %v %v", k, placed[i-1], placed[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDurationReservesNothing(t *testing.T) {
+	tl := New(0)
+	if got := tl.Place(50, 0); got != 50 {
+		t.Fatalf("zero-dur Place = %d, want 50", got)
+	}
+	if tl.Intervals() != 0 {
+		t.Fatal("zero-dur Place reserved an interval")
+	}
+}
