@@ -33,10 +33,14 @@ bench:
 
 # CI smoke: regenerate a representative figure/table set at Tiny fidelity
 # through the shared scheduler and emit the structured artifact CI uploads
-# as the perf trajectory (BENCH_*.json).
+# as the perf trajectory (BENCH_*.json), plus a one-shot policy-layer
+# benchmark (-benchtime 1x: a smoke that the benches run, not a timing
+# claim) whose output rides along as BENCH_policy_victim.txt.
 bench-smoke: build
 	$(GO) run ./cmd/paperfig -fig 1 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig1.json
 	$(GO) run ./cmd/paperfig -fig 6 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig6.json
+	$(GO) test -bench 'Victim|FillChurn' -benchtime 1x -run '^$$' ./internal/policy > BENCH_policy_victim.txt || { cat BENCH_policy_victim.txt; exit 1; }
+	cat BENCH_policy_victim.txt
 
 # Quick-fidelity regeneration of everything (minutes).
 paperfig:
@@ -45,4 +49,4 @@ paperfig:
 ci: build lint test test-race
 
 clean:
-	rm -rf .simcache BENCH_*.json paperfig.json
+	rm -rf .simcache BENCH_*.json BENCH_*.txt paperfig.json

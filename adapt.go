@@ -101,6 +101,13 @@ func BenchmarkByName(name string) (Benchmark, error) {
 // Studies returns the paper's Table 6 workload studies.
 func Studies() []Study { return workload.Table6() }
 
+// ExtendedStudies returns the beyond-paper 32/64/128-core scalability
+// studies synthesized from the same application classes.
+func ExtendedStudies() []Study { return workload.Extended() }
+
+// StudyByCores resolves a study (paper or extended) by core count.
+func StudyByCores(cores int) (Study, error) { return workload.StudyByCores(cores) }
+
 // MixesFor generates a study's workload mixes deterministically from seed.
 func MixesFor(s Study, seed uint64) []Mix { return workload.Mixes(s, seed) }
 

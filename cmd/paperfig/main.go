@@ -5,6 +5,7 @@
 // Usage:
 //
 //	paperfig -fig 1|3|4|5|6|7|8        regenerate one figure
+//	paperfig -fig 8 -scale             extend Fig. 8 to 32/64/128 cores
 //	paperfig -table 2|4|7              regenerate one table
 //	paperfig -ablation interval|sets|ranges
 //	paperfig -all                      everything (long)
@@ -13,7 +14,7 @@
 //
 //	-full            paper-scale geometry and instruction budgets (slow)
 //	-tiny            test-scale fidelity (CI smoke runs)
-//	-scale N         cache scale divisor           (default 8)
+//	-cache-scale N   cache scale divisor           (default 8)
 //	-workloads N     mixes per study, 0 = paper    (default 20)
 //	-measure N       instructions/app measured     (default 600000)
 //	-warmup N        instructions/app warmed up    (default 150000)
@@ -51,7 +52,8 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		full      = flag.Bool("full", false, "paper-scale fidelity (slow)")
 		tiny      = flag.Bool("tiny", false, "test-scale fidelity (CI smoke)")
-		scale     = flag.Int("scale", 8, "cache scale divisor")
+		scaleUp   = flag.Bool("scale", false, "extend -fig 8 to the beyond-paper 32/64/128-core scalability sweep")
+		scale     = flag.Int("cache-scale", 8, "cache scale divisor")
 		workloads = flag.Int("workloads", 20, "mixes per study (0 = paper counts)")
 		measure   = flag.Uint64("measure", 600_000, "measured instructions per app")
 		warmup    = flag.Uint64("warmup", 150_000, "warm-up instructions per app")
@@ -63,6 +65,12 @@ func main() {
 		stats     = flag.Bool("stats", false, "print scheduler statistics to stderr")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Catch pre-rename invocations loudly: `-scale 4` now parses as the
+		// boolean sweep toggle plus a stray positional argument.
+		fmt.Fprintf(os.Stderr, "paperfig: unexpected arguments %q (the cache divisor flag is -cache-scale N; -scale is the Fig. 8 scalability-sweep toggle)\n", flag.Args())
+		os.Exit(2)
+	}
 
 	opt := experiments.Options{
 		Scale:        *scale,
@@ -82,7 +90,7 @@ func main() {
 		preset.Parallelism = *par
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scale":
+			case "cache-scale":
 				preset.Scale = *scale
 			case "workloads":
 				preset.MaxWorkloads = *workloads
@@ -155,7 +163,13 @@ func main() {
 	}
 	if *all || *fig == 8 {
 		ran = true
-		emit(experiments.Fig8(opt).Tables()...)
+		var r experiments.Fig8Result
+		if *scaleUp {
+			r = experiments.Fig8Scaled(opt)
+		} else {
+			r = experiments.Fig8(opt)
+		}
+		emit(r.Tables()...)
 	}
 	if *all || *table == 7 {
 		ran = true

@@ -275,6 +275,52 @@ func TestTable4TinySmoke(t *testing.T) {
 	}
 }
 
+// TestFig8TablesFollowStudies pins the render-path fix: the table list is
+// derived from the Studies map in ascending core order — no second
+// hard-coded core list — so extended sweeps (32/64/128) and custom grids
+// render without touching the renderer, and beyond-paper studies carry the
+// extension note.
+func TestFig8TablesFollowStudies(t *testing.T) {
+	fake := func() Fig3Result {
+		return Fig3Result{
+			Curves: map[string][]float64{"LRU": {0.99}},
+			Mean:   map[string]float64{"LRU": 0.99},
+		}
+	}
+	res := Fig8Result{Studies: map[int]Fig3Result{
+		128: fake(), 8: fake(), 64: fake(), 24: fake(),
+	}}
+	tables := res.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("%d tables, want 4", len(tables))
+	}
+	wantOrder := []string{"8-core", "24-core", "64-core", "128-core"}
+	for i, tbl := range tables {
+		if !strings.Contains(tbl.Title, wantOrder[i]) {
+			t.Fatalf("table %d titled %q, want %s (ascending core order)", i, tbl.Title, wantOrder[i])
+		}
+		beyond := strings.Contains(tbl.Note, "beyond-paper")
+		if wantExt := i >= 2; beyond != wantExt {
+			t.Fatalf("table %q extension note = %v, want %v", tbl.Title, beyond, wantExt)
+		}
+	}
+}
+
+// TestFig8CoresSkipsUnknownCounts pins the degrade-not-fail contract for
+// custom grids.
+func TestFig8CoresSkipsUnknownCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	res := Fig8Cores(tinyOpt(), []int{4, 9999})
+	if len(res.Studies) != 1 {
+		t.Fatalf("%d studies, want 1 (9999 skipped)", len(res.Studies))
+	}
+	if _, ok := res.Studies[4]; !ok {
+		t.Fatal("4-core study missing")
+	}
+}
+
 func TestAblationTablesRender(t *testing.T) {
 	a := AblationResult{Name: "x", Points: []AblationPoint{{Label: "a", Speedup: 1.01}}}
 	if !strings.Contains(a.Table().String(), "1.010") {

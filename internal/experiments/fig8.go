@@ -2,9 +2,18 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/workload"
 )
+
+// Fig8PaperCores is the paper's §5.4 scalability grid.
+func Fig8PaperCores() []int { return []int{4, 8, 20, 24} }
+
+// Fig8ScaledCores extends the grid past the paper's 24-core ceiling to the
+// synthesized large-multicore studies (workload.Extended). The paper's
+// cores stay in the list so the known orderings anchor the extension.
+func Fig8ScaledCores() []int { return append(Fig8PaperCores(), 32, 64, 128) }
 
 // Fig8Result holds one s-curve study per core count.
 type Fig8Result struct {
@@ -14,27 +23,47 @@ type Fig8Result struct {
 // Fig8 reproduces the scalability study (§5.4): the Figure 3 comparison
 // repeated on the 4-, 8-, 20- and 24-core workloads. The paper reports
 // ADAPT means of +4.8%, +3.5%, +5.8% and +5.9% respectively.
-func Fig8(opt Options) Fig8Result {
+func Fig8(opt Options) Fig8Result { return Fig8Cores(opt, Fig8PaperCores()) }
+
+// Fig8Scaled is the beyond-paper sweep: the same comparison pushed to the
+// 32/64/128-core studies (cmd/paperfig -fig 8 -scale).
+func Fig8Scaled(opt Options) Fig8Result { return Fig8Cores(opt, Fig8ScaledCores()) }
+
+// Fig8Cores runs the Figure 8 comparison on an explicit core-count list.
+// Counts with no defined study are skipped: the sweep degrades to the
+// studies that exist rather than failing the whole figure.
+func Fig8Cores(opt Options, cores []int) Fig8Result {
 	r := NewRunner(opt)
 	out := Fig8Result{Studies: map[int]Fig3Result{}}
-	for _, cores := range []int{4, 8, 20, 24} {
-		study, _ := workload.StudyByCores(cores)
+	for _, c := range cores {
+		study, err := workload.StudyByCores(c)
+		if err != nil {
+			continue
+		}
 		pols := append([]PolicySpec{Baseline}, ComparisonSpecs()...)
 		runs := r.RunStudy(study, pols)
-		out.Studies[cores] = newCurves(runs)
+		out.Studies[c] = newCurves(runs)
 	}
 	return out
 }
 
-// Tables renders one s-curve table per study.
+// Tables renders one s-curve table per study, in ascending core order. The
+// core list is derived from the Studies map itself — not restated — so any
+// sweep (paper, scaled, or a custom Fig8Cores grid) renders without
+// touching this path.
 func (f Fig8Result) Tables() []Table {
+	cores := make([]int, 0, len(f.Studies))
+	for c := range f.Studies {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
 	var out []Table
-	for _, cores := range []int{4, 8, 20, 24} {
-		res, ok := f.Studies[cores]
-		if !ok {
-			continue
+	for _, c := range cores {
+		t := f.Studies[c].Table(fmt.Sprintf("Figure 8 — %d-core workloads", c))
+		if c > 24 {
+			t.Note += "; beyond-paper extended study (paper stops at 24 cores)"
 		}
-		out = append(out, res.Table(fmt.Sprintf("Figure 8 — %d-core workloads", cores)))
+		out = append(out, t)
 	}
 	return out
 }

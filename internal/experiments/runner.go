@@ -219,6 +219,7 @@ func (r *Runner) AloneIPC(name string) float64 {
 		Names:   []string{name},
 		Warmup:  r.Opt.WarmupInstr,
 		Measure: r.Opt.MeasureInstr,
+		Segment: "solo",
 	})
 	return res.Apps[0].IPC
 }
@@ -276,6 +277,7 @@ func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 			Names:   mix.Names,
 			Warmup:  r.Opt.WarmupInstr,
 			Measure: r.Opt.MeasureInstr,
+			Segment: study.Name,
 		})
 		out.ByPolicy[p.Key][mi] = MixRun{Mix: mix, Result: res}
 	})

@@ -21,12 +21,20 @@ const (
 	leaderBRRIP = 2
 )
 
-// duelMap assigns roles to sets. For DRRIP the owner is always 0; for
-// TA-DRRIP each thread has its own leader sets and PSEL.
+// duelMap assigns roles to sets, packed one uint16 per set: the role in the
+// low two bits, the owning thread above them. For DRRIP the owner is always
+// 0; for TA-DRRIP each thread has its own leader sets and PSEL. Leader-set
+// resolution sits on the per-fill hot path, and the packed form answers
+// both questions (role and owner) with a single dense load.
 type duelMap struct {
-	role  []uint8  // per set: follower/leaderSRRIP/leaderBRRIP
-	owner []uint16 // per set: owning thread for leader sets
+	code []uint16 // per set: owner<<2 | role
 }
+
+// role returns the set's dueling role.
+func (m *duelMap) role(set int) uint8 { return uint8(m.code[set] & 3) }
+
+// owner returns the thread owning a leader set (0 for followers).
+func (m *duelMap) owner(set int) int { return int(m.code[set] >> 2) }
 
 // effectiveSD resolves the leader-set count per policy per thread. The
 // default preserves the paper's *fraction* of dedicated sets (64 of 16384 =
@@ -56,8 +64,23 @@ func effectiveSD(sets, threads, sd int) int {
 
 // newDuelMap dedicates sd leader sets per policy to each of `threads`
 // threads, sampled deterministically from seed.
+//
+// On degenerate geometries — a scaled-down cache shared by more threads
+// than half its sets (e.g. 128 threads on a -cache-scale 128 machine) —
+// even sd=1 leader pairs for every thread exceed the cache. Rather than
+// panic, complete SRRIP+BRRIP pairs go to as many threads as fit; the
+// remaining threads keep their initial PSEL (SRRIP-preferring) and still
+// insert by it. Non-degenerate geometries (2*threads*sd <= sets, which
+// includes every paper-scale and tiny-fidelity study configuration) are
+// bit-identical to the unclamped assignment.
 func newDuelMap(sets, threads, sd int, seed uint64) *duelMap {
-	m := &duelMap{role: make([]uint8, sets), owner: make([]uint16, sets)}
+	if 2*threads*sd > sets {
+		sd = 1
+		if pairs := sets / 2; threads > pairs {
+			threads = pairs
+		}
+	}
+	m := &duelMap{code: make([]uint16, sets)}
 	src := rng.New(seed ^ 0xA5A5A5A55A5A5A5A)
 	need := 2 * threads * sd
 	chosen := src.Sample(sets, need)
@@ -66,11 +89,9 @@ func newDuelMap(sets, threads, sd int, seed uint64) *duelMap {
 	k := 0
 	for t := 0; t < threads; t++ {
 		for i := 0; i < sd; i++ {
-			m.role[chosen[k]] = leaderSRRIP
-			m.owner[chosen[k]] = uint16(t)
+			m.code[chosen[k]] = uint16(t)<<2 | leaderSRRIP
 			k++
-			m.role[chosen[k]] = leaderBRRIP
-			m.owner[chosen[k]] = uint16(t)
+			m.code[chosen[k]] = uint16(t)<<2 | leaderBRRIP
 			k++
 		}
 	}
@@ -149,7 +170,7 @@ func (p *DRRIP) OnMiss(a *cache.Access, set int) {
 	if !a.Demand {
 		return
 	}
-	switch p.duel.role[set] {
+	switch p.duel.role(set) {
 	case leaderSRRIP:
 		p.sel.srripMiss()
 	case leaderBRRIP:
@@ -170,7 +191,7 @@ func (p *DRRIP) OnFill(a *cache.Access, set, way int) {
 		return
 	}
 	useBRRIP := false
-	switch p.duel.role[set] {
+	switch p.duel.role(set) {
 	case leaderSRRIP:
 		useBRRIP = false
 	case leaderBRRIP:

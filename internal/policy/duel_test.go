@@ -30,17 +30,17 @@ func TestDuelMapAssignment(t *testing.T) {
 	perThread := map[uint16][2]int{}
 	followers := 0
 	for s := 0; s < sets; s++ {
-		switch m.role[s] {
+		switch m.role(s) {
 		case follower:
 			followers++
 		case leaderSRRIP:
-			c := perThread[m.owner[s]]
+			c := perThread[uint16(m.owner(s))]
 			c[0]++
-			perThread[m.owner[s]] = c
+			perThread[uint16(m.owner(s))] = c
 		case leaderBRRIP:
-			c := perThread[m.owner[s]]
+			c := perThread[uint16(m.owner(s))]
 			c[1]++
-			perThread[m.owner[s]] = c
+			perThread[uint16(m.owner(s))] = c
 		}
 	}
 	if followers != sets-2*threads*sd {
@@ -54,11 +54,54 @@ func TestDuelMapAssignment(t *testing.T) {
 	}
 }
 
+// TestDuelMapDegenerateGeometry pins the many-threads-tiny-cache fallback:
+// when even one leader pair per thread exceeds the cache (reachable via
+// paperfig -fig 8 -scale -cache-scale 128), complete pairs go to as many
+// threads as fit — no panic, no thread with a half pair.
+func TestDuelMapDegenerateGeometry(t *testing.T) {
+	const sets, threads = 128, 128 // need = 2*128 > 128 sets
+	m := newDuelMap(sets, threads, 1, 42)
+	perThread := map[int][2]int{}
+	for s := 0; s < sets; s++ {
+		switch m.role(s) {
+		case leaderSRRIP:
+			c := perThread[m.owner(s)]
+			c[0]++
+			perThread[m.owner(s)] = c
+		case leaderBRRIP:
+			c := perThread[m.owner(s)]
+			c[1]++
+			perThread[m.owner(s)] = c
+		}
+	}
+	if len(perThread) != sets/2 {
+		t.Fatalf("%d threads own leaders, want %d (as many complete pairs as fit)", len(perThread), sets/2)
+	}
+	for tid, c := range perThread {
+		if c[0] != 1 || c[1] != 1 {
+			t.Fatalf("thread %d has %d SRRIP / %d BRRIP leaders, want a complete 1+1 pair", tid, c[0], c[1])
+		}
+	}
+	// The boundary case — leaders exactly fill the cache — keeps every
+	// thread's pair (the 128-core reference sweep at -cache-scale 64).
+	full := newDuelMap(256, 128, 1, 42)
+	owners := map[int]bool{}
+	for s := 0; s < 256; s++ {
+		if full.role(s) == follower {
+			t.Fatal("boundary geometry should dedicate every set")
+		}
+		owners[full.owner(s)] = true
+	}
+	if len(owners) != 128 {
+		t.Fatalf("%d owning threads at the boundary, want 128", len(owners))
+	}
+}
+
 func TestDuelMapDeterministic(t *testing.T) {
 	a := newDuelMap(512, 2, 8, 99)
 	b := newDuelMap(512, 2, 8, 99)
-	for s := range a.role {
-		if a.role[s] != b.role[s] || a.owner[s] != b.owner[s] {
+	for s := range a.code {
+		if a.code[s] != b.code[s] {
 			t.Fatal("duel maps with identical seeds differ")
 		}
 	}
@@ -179,7 +222,7 @@ func TestTADRRIPForcedBRRIP(t *testing.T) {
 	for b := uint64(0); b < 2048; b++ {
 		c.Access(demand(b, 0, 0))
 		set := c.SetOf(b)
-		if w, ok := c.Lookup(b); ok && p.duel.role[set] == follower {
+		if w, ok := c.Lookup(b); ok && p.duel.role(set) == follower {
 			total++
 			if p.RRPVAt(set, w) == MaxRRPV {
 				distant++

@@ -11,57 +11,103 @@ import "repro/internal/cache"
 // The engine also tracks line validity (learned from OnFill/OnEvict
 // callbacks) so that invalid ways are consumed before any valid line is
 // victimised, matching real hardware fill behaviour.
+//
+// Victim selection is a single bucket scan per call. Two per-set summaries
+// keep it that way under churn: live counts the valid ways (a full set skips
+// the invalid-way scan entirely), and hint is an upper bound on the set's
+// maximum RRPV, letting the scan stop at the first way that reaches the
+// bound — in the common post-aging state, the first distant line. The
+// summaries are hints, never semantics: decisions are bit-identical to the
+// original retry/aging formulation (TestVictimMatchesReference).
 type Engine struct {
 	geom  cache.Geometry
 	rrpv  []uint8
 	valid []bool
+	live  []uint16 // per set: number of valid ways
+	hint  []uint8  // per set: upper bound on the max RRPV of the set
 }
 
 // NewEngine builds an engine for the given cache geometry.
 func NewEngine(g cache.Geometry) Engine {
 	n := g.Sets * g.Ways
-	return Engine{geom: g, rrpv: make([]uint8, n), valid: make([]bool, n)}
+	return Engine{
+		geom:  g,
+		rrpv:  make([]uint8, n),
+		valid: make([]bool, n),
+		live:  make([]uint16, g.Sets),
+		hint:  make([]uint8, g.Sets),
+	}
 }
 
 func (e *Engine) idx(set, way int) int { return set*e.geom.Ways + way }
 
-// Promote sets the line to near-immediate re-reference (RRPV 0).
+// Promote sets the line to near-immediate re-reference (RRPV 0). The set's
+// max-RRPV hint is left alone: it is an upper bound, and lowering one value
+// cannot raise the maximum.
 func (e *Engine) Promote(set, way int) { e.rrpv[e.idx(set, way)] = 0 }
 
 // SetRRPV records the insertion value of a fresh fill and marks it valid.
 func (e *Engine) SetRRPV(set, way int, v uint8) {
 	i := e.idx(set, way)
 	e.rrpv[i] = v
-	e.valid[i] = true
+	if !e.valid[i] {
+		e.valid[i] = true
+		e.live[set]++
+	}
+	if v > e.hint[set] {
+		e.hint[set] = v
+	}
 }
 
 // Invalidate marks a way empty (called from OnEvict).
-func (e *Engine) Invalidate(set, way int) { e.valid[e.idx(set, way)] = false }
+func (e *Engine) Invalidate(set, way int) {
+	i := e.idx(set, way)
+	if e.valid[i] {
+		e.valid[i] = false
+		e.live[set]--
+	}
+}
 
 // RRPVAt exposes a line's current RRPV (tests and diagnostics).
 func (e *Engine) RRPVAt(set, way int) uint8 { return e.rrpv[e.idx(set, way)] }
 
 // Victim returns the way to replace in set: the lowest-indexed invalid way
-// if one exists, otherwise the lowest-indexed way with RRPV == MaxRRPV,
-// aging the whole set (saturating increment) until one appears. Aging
-// terminates within MaxRRPV rounds by construction.
+// if one exists, otherwise the lowest-indexed way holding the set's maximum
+// RRPV, after aging every line up to the distant value — the same line the
+// classical "scan for MaxRRPV, age, retry" loop converges on, found in one
+// pass. Aging adds MaxRRPV-max to every way at once, which is exactly what
+// the retry loop's repeated +1 rounds amount to (no line can pass MaxRRPV,
+// because none exceeds the set maximum).
 func (e *Engine) Victim(set int) int {
-	base := set * e.geom.Ways
-	for w := 0; w < e.geom.Ways; w++ {
-		if !e.valid[base+w] {
-			return w
-		}
-	}
-	for {
-		for w := 0; w < e.geom.Ways; w++ {
-			if e.rrpv[base+w] == MaxRRPV {
+	ways := e.geom.Ways
+	base := set * ways
+	if int(e.live[set]) < ways {
+		for w := 0; w < ways; w++ {
+			if !e.valid[base+w] {
 				return w
 			}
 		}
-		for w := 0; w < e.geom.Ways; w++ {
-			e.rrpv[base+w]++
+	}
+	bound := e.hint[set]
+	maxW := 0
+	maxV := e.rrpv[base]
+	if maxV < bound {
+		for w := 1; w < ways; w++ {
+			if v := e.rrpv[base+w]; v > maxV {
+				maxW, maxV = w, v
+				if v == bound {
+					break // nothing in the set can exceed the hint
+				}
+			}
 		}
 	}
+	if delta := MaxRRPV - maxV; delta > 0 {
+		for w := 0; w < ways; w++ {
+			e.rrpv[base+w] += delta
+		}
+	}
+	e.hint[set] = MaxRRPV
+	return maxW
 }
 
 // NonDemandRRPV is the shared insertion rule for prefetch and write-back

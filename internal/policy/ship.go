@@ -31,30 +31,37 @@ const (
 // point of carrying the full training machinery here.
 type SHiP struct {
 	Engine
-	shct       [][]uint8 // [core][1<<SignatureBits] saturating counters
-	trainIdx   []int32   // per set: index into training state, -1 if unsampled
-	trainSig   []uint16  // per (training set, way): fill signature
-	trainValid []bool    // per (training set, way): signature valid
-	outcome    []bool    // per (training set, way): re-referenced since fill
-	trainCore  []uint16  // per (training set, way): fill core
-	bypass     bool
+	// shct is the per-core counter table flattened into one dense slice,
+	// indexed core<<SignatureBits | signature: one allocation, one load on
+	// the per-fill path, no per-core pointer chase.
+	shct     []uint8
+	trainIdx []int32     // per set: index into training state, -1 if unsampled
+	train    []shipTrain // per (training set, way): fill bookkeeping
+	bypass   bool
 
 	// Prediction counters for tests and the Figure 6 analysis.
 	distantPredictions uint64
 	totalPredictions   uint64
 }
 
+// shipTrain is one sampled line's training state. The four fields travel
+// together through OnHit/OnFill/OnEvict, so a single 6-byte record beats
+// four parallel slices on locality.
+type shipTrain struct {
+	sig    uint16 // fill signature
+	core   uint16 // fill core
+	valid  bool   // signature valid
+	reused bool   // demand re-referenced since fill
+}
+
 // NewSHiP builds a SHiP policy. Options used: Seed (training-set sampling)
 // and BypassDistant.
 func NewSHiP(g cache.Geometry, opt Options) *SHiP {
-	shct := make([][]uint8, g.Cores)
+	shct := make([]uint8, g.Cores<<SignatureBits)
+	// SHiP initialises counters to a weakly-reusable state so that cold
+	// signatures are not predicted distant before any training.
 	for i := range shct {
-		shct[i] = make([]uint8, 1<<SignatureBits)
-		// SHiP initialises counters to a weakly-reusable state so that cold
-		// signatures are not predicted distant before any training.
-		for j := range shct[i] {
-			shct[i][j] = 1
-		}
+		shct[i] = 1
 	}
 	// Sample ~1/64 of the sets (at least 8, at most all) for training,
 	// preserving the paper-scale training fraction on scaled caches.
@@ -74,16 +81,12 @@ func NewSHiP(g cache.Geometry, opt Options) *SHiP {
 	for i, s := range sampled {
 		trainIdx[s] = int32(i)
 	}
-	slots := n * g.Ways
 	return &SHiP{
-		Engine:     NewEngine(g),
-		shct:       shct,
-		trainIdx:   trainIdx,
-		trainSig:   make([]uint16, slots),
-		trainValid: make([]bool, slots),
-		outcome:    make([]bool, slots),
-		trainCore:  make([]uint16, slots),
-		bypass:     opt.BypassDistant,
+		Engine:   NewEngine(g),
+		shct:     shct,
+		trainIdx: trainIdx,
+		train:    make([]shipTrain, n*g.Ways),
+		bypass:   opt.BypassDistant,
 	}
 }
 
@@ -114,11 +117,12 @@ func (p *SHiP) OnHit(a *cache.Access, set, way int) {
 		return
 	}
 	p.Promote(set, way)
-	if slot := p.trainSlot(set, way); slot >= 0 && p.trainValid[slot] && !p.outcome[slot] {
-		p.outcome[slot] = true
-		core := int(p.trainCore[slot])
-		if p.shct[core][p.trainSig[slot]] < SHCTMax {
-			p.shct[core][p.trainSig[slot]]++
+	if slot := p.trainSlot(set, way); slot >= 0 {
+		if tr := &p.train[slot]; tr.valid && !tr.reused {
+			tr.reused = true
+			if c := &p.shct[int(tr.core)<<SignatureBits|int(tr.sig)]; *c < SHCTMax {
+				*c++
+			}
 		}
 	}
 }
@@ -129,7 +133,7 @@ func (p *SHiP) OnMiss(a *cache.Access, set int) {}
 // predictDistant reports whether the fill's signature has never shown reuse.
 func (p *SHiP) predictDistant(a *cache.Access) bool {
 	p.totalPredictions++
-	distant := p.shct[a.Core][Signature(a.PC)] == 0
+	distant := p.shct[a.Core<<SignatureBits|int(Signature(a.PC))] == 0
 	if distant {
 		p.distantPredictions++
 	}
@@ -153,7 +157,7 @@ func (p *SHiP) OnFill(a *cache.Access, set, way int) {
 	if !a.Demand {
 		p.SetRRPV(set, way, NonDemandRRPV(a))
 		if slot := p.trainSlot(set, way); slot >= 0 {
-			p.trainValid[slot] = false
+			p.train[slot].valid = false
 		}
 		return
 	}
@@ -169,24 +173,22 @@ func (p *SHiP) OnFill(a *cache.Access, set, way int) {
 	}
 	p.SetRRPV(set, way, v)
 	if slot := p.trainSlot(set, way); slot >= 0 {
-		p.trainSig[slot] = Signature(a.PC)
-		p.trainValid[slot] = true
-		p.outcome[slot] = false
-		p.trainCore[slot] = uint16(a.Core)
+		p.train[slot] = shipTrain{sig: Signature(a.PC), core: uint16(a.Core), valid: true}
 	}
 }
 
 // OnEvict trains the SHCT negatively for lines that die without reuse.
 func (p *SHiP) OnEvict(set, way int, ev cache.EvictedLine) {
 	p.Invalidate(set, way)
-	if slot := p.trainSlot(set, way); slot >= 0 && p.trainValid[slot] {
-		if !p.outcome[slot] {
-			core := int(p.trainCore[slot])
-			if p.shct[core][p.trainSig[slot]] > 0 {
-				p.shct[core][p.trainSig[slot]]--
+	if slot := p.trainSlot(set, way); slot >= 0 {
+		if tr := &p.train[slot]; tr.valid {
+			if !tr.reused {
+				if c := &p.shct[int(tr.core)<<SignatureBits|int(tr.sig)]; *c > 0 {
+					*c--
+				}
 			}
+			tr.valid = false
 		}
-		p.trainValid[slot] = false
 	}
 }
 
@@ -200,4 +202,6 @@ func (p *SHiP) DistantFraction() float64 {
 }
 
 // SHCTValue exposes one counter for tests.
-func (p *SHiP) SHCTValue(core int, sig uint16) uint8 { return p.shct[core][sig] }
+func (p *SHiP) SHCTValue(core int, sig uint16) uint8 {
+	return p.shct[core<<SignatureBits|int(sig)]
+}

@@ -86,8 +86,8 @@ func (p *TADRRIP) OnMiss(a *cache.Access, set int) {
 	if !a.Demand {
 		return
 	}
-	role := p.duel.role[set]
-	if role == follower || int(p.duel.owner[set]) != a.Core {
+	role := p.duel.role(set)
+	if role == follower || p.duel.owner(set) != a.Core {
 		return
 	}
 	if role == leaderSRRIP {
@@ -104,8 +104,7 @@ func (p *TADRRIP) useBRRIPFor(core, set int) bool {
 	if p.forced[core] {
 		return true
 	}
-	role := p.duel.role[set]
-	if role != follower && int(p.duel.owner[set]) == core {
+	if role := p.duel.role(set); role != follower && p.duel.owner(set) == core {
 		return role == leaderBRRIP
 	}
 	return p.sels[core].preferBRRIP()

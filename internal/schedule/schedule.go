@@ -43,7 +43,13 @@ import (
 // v2: batch-invariant event loop and out-of-order-correct shared-resource
 // timing (busy-interval timelines, FCFS pools); results for identical
 // configs differ from v1.
-const KeySchema = "job/v2+" + sim.FingerprintSchema
+//
+// v3: segment-file disk tier (one append-only segment per study instead of
+// one JSON file per job). Simulation semantics are unchanged — the golden-
+// fingerprint corpus is identical to v2 — but the on-disk layout is not,
+// and the bump strands v2 per-key files instead of mixing formats in one
+// directory.
+const KeySchema = "job/v3+" + sim.FingerprintSchema
 
 // Job is one simulation request: a fully-configured machine (any
 // PolicySpec.Configure mutation already applied), a workload, and the
@@ -54,6 +60,13 @@ type Job struct {
 	Names   []string // one benchmark per core, sim.NewFromNames order
 	Warmup  uint64
 	Measure uint64
+
+	// Segment names the disk-tier segment file this job's result is
+	// appended to — conventionally the study ("24-core", "128-core") or
+	// "solo" for baselines. It groups storage only and is deliberately NOT
+	// part of Key(): the same job requested under two segments is still one
+	// simulation, and either segment's stored copy satisfies both.
+	Segment string
 }
 
 // Key returns the job's content-addressed identity.
@@ -154,8 +167,10 @@ func Shared() *Scheduler {
 }
 
 // SetCacheDir enables (dir != "") or disables (dir == "") the on-disk
-// result tier. Entries live under dir/<key-schema-slug>/<key>.json, so a
-// schema bump naturally strands old entries rather than misreading them.
+// result tier. Entries live in append-only segment files under
+// dir/<key-schema-slug>/<segment>.seg, so a schema bump naturally strands
+// old entries rather than misreading them. Opening the cache scans every
+// segment into memory; unusable lines are counted as DiskErrors.
 func (s *Scheduler) SetCacheDir(dir string) error {
 	var d *diskCache
 	if dir != "" {
@@ -166,6 +181,9 @@ func (s *Scheduler) SetCacheDir(dir string) error {
 	}
 	s.mu.Lock()
 	s.disk = d
+	if d != nil {
+		s.stats.DiskErrors += d.loadErrors()
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -202,9 +220,7 @@ func (s *Scheduler) Run(j Job) sim.Result {
 	s.mu.Unlock()
 
 	if disk != nil {
-		if r, ok, err := disk.read(key); err != nil {
-			s.count(func(st *Stats) { st.DiskErrors++ })
-		} else if ok {
+		if r, ok := disk.read(key); ok {
 			s.settle(key, f, r, func(st *Stats) { st.DiskHits++ })
 			return cloneResult(r)
 		}

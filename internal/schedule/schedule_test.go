@@ -162,6 +162,7 @@ func TestRunUncachedNeverMemoizes(t *testing.T) {
 func TestDiskCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	j := testJob(1)
+	j.Segment = "16-core"
 
 	s1 := New(2)
 	s1.runFn = fakeRun(42)
@@ -191,6 +192,64 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDiskCacheSegmentsShareFiles pins the inode-churn fix: a study's worth
+// of jobs lands in ONE append-only segment file (plus one per other
+// segment), not one file per job, and a differently-segmented request for
+// the same job is still a disk hit.
+func TestDiskCacheSegmentsShareFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(2)
+	s1.runFn = fakeRun(5)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{testJob(1), testJob(2), testJob(3)}
+	for i := range jobs {
+		jobs[i].Segment = "128-core"
+		s1.Run(jobs[i])
+	}
+	solo := testJob(4, "calc")
+	solo.Segment = "solo"
+	s1.Run(solo)
+
+	entries, err := os.ReadDir(filepath.Join(dir, schemaSlug()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("4 jobs produced %d files (%v), want 2 segments", len(names), names)
+	}
+	for _, want := range []string{"128-core.seg", "solo.seg"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("segment %s missing from %v", want, names)
+		}
+	}
+
+	// Segment names group storage only: the same job under another segment
+	// is the same key, so a fresh scheduler serves it from disk.
+	s2 := New(2)
+	s2.runFn = func(Job) sim.Result { t.Fatal("should not execute"); return sim.Result{} }
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	relabeled := testJob(1)
+	relabeled.Segment = "some-other-study"
+	s2.Run(relabeled)
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestDiskCacheSchemaInvalidation(t *testing.T) {
 	dir := t.TempDir()
 	j := testJob(1)
@@ -202,19 +261,19 @@ func TestDiskCacheSchemaInvalidation(t *testing.T) {
 	}
 	s1.Run(j)
 
-	// Rewrite the entry as if an older schema had produced it.
-	path := filepath.Join(dir, schemaSlug(), j.Key()+".json")
+	// Rewrite the segment as if an older schema had produced its entry.
+	path := filepath.Join(dir, schemaSlug(), "misc.seg")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e diskEntry
+	var e segEntry
 	if err := json.Unmarshal(data, &e); err != nil {
 		t.Fatal(err)
 	}
 	e.Schema = "job/v0+stale"
 	stale, _ := json.Marshal(e)
-	if err := os.WriteFile(path, stale, 0o644); err != nil {
+	if err := os.WriteFile(path, append(stale, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -233,7 +292,10 @@ func TestDiskCacheSchemaInvalidation(t *testing.T) {
 	}
 }
 
-func TestDiskCacheCorruptEntryCounted(t *testing.T) {
+// TestDiskCacheCorruptLineSkipped simulates a crash mid-append: a torn
+// trailing line must be counted and skipped at the next open, while every
+// whole line before it is still served.
+func TestDiskCacheCorruptLineSkipped(t *testing.T) {
 	dir := t.TempDir()
 	j := testJob(1)
 	s1 := New(2)
@@ -242,18 +304,24 @@ func TestDiskCacheCorruptEntryCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1.Run(j)
-	path := filepath.Join(dir, schemaSlug(), j.Key()+".json")
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+	path := filepath.Join(dir, schemaSlug(), "misc.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := f.WriteString(`{"schema":"` + KeySchema + `","key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
 	s2 := New(2)
-	s2.runFn = fakeRun(2)
+	s2.runFn = func(Job) sim.Result { t.Fatal("whole line should still hit"); return sim.Result{} }
 	if err := s2.SetCacheDir(dir); err != nil {
 		t.Fatal(err)
 	}
 	s2.Run(j)
 	st := s2.Stats()
-	if st.DiskErrors != 1 || st.Executed != 1 {
+	if st.DiskErrors != 1 || st.DiskHits != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// Golden-fingerprint corpus: sim.Result.Fingerprint locked for a small
+// canonical grid of (mix, policy) runs at tiny fidelity. The simulator is a
+// pure function of its Config and workload, so these digests are stable
+// across parallelism, batch caps, scheduler interleaving and host — any
+// change here means the simulation semantics changed.
+//
+// If a change is INTENTIONAL (a timing-model fix, a policy behaviour
+// change), bump the goldens deliberately: re-run with
+//
+//	go test ./internal/sim -run TestGoldenFingerprints -v
+//
+// paste the printed "got" digests below, and bump schedule.KeySchema in the
+// same commit so stale disk-cache entries strand instead of mixing with the
+// new semantics. A golden change with no schema bump is a review error.
+var goldenFingerprints = []struct {
+	name   string
+	names  []string
+	policy string
+	want   string
+}{
+	// Mix A: one app per intensity band (VL compute, M mixed-scan, H cyclic
+	// thrasher, VH stream) — the composition the paper's studies stress.
+	{"mixA/tadrrip", []string{"calc", "mcf", "libq", "lbm"}, "tadrrip",
+		"2383d46f5b9a1f7f16c197dc1d1029419e62453092d2c7de359489dbbda8fdb5"},
+	{"mixA/ship", []string{"calc", "mcf", "libq", "lbm"}, "ship",
+		"844f888e1a6ce755a98c7ed8267ffaaea15e190fc69520d0ac4ad48e51cb7542"},
+	{"mixA/adapt", []string{"calc", "mcf", "libq", "lbm"}, "adapt",
+		"0e07786e3cba280ea47d0cddcbec02c1448cf9e9aea952e93facb03d0b651f06"},
+	// Mix B: recency-friendly apps against two streams — the case where
+	// discrete insertion policies must protect the friendly working sets.
+	{"mixB/tadrrip", []string{"art", "gcc", "STRM", "milc"}, "tadrrip",
+		"2c2b089dc572ed396370a059b4d2eb5384ead34a7f46235aaf625bab5952f3d2"},
+	{"mixB/ship", []string{"art", "gcc", "STRM", "milc"}, "ship",
+		"dc2201c5baa807764ea9d0923a84228ca7bc261fa166b85c7f3e9cb946ce38a6"},
+	{"mixB/adapt", []string{"art", "gcc", "STRM", "milc"}, "adapt",
+		"cbde9458f9283650c3ccfc3a59e7deba86e8d0ac5586347d9c0ddbf5d4fd9ebc"},
+}
+
+// goldenConfig is the canonical tiny-fidelity machine of the corpus. Any
+// field change here invalidates every golden above, which is the point:
+// the corpus pins (config, workload, budgets) -> bits.
+func goldenConfig(cores int, policy string) Config {
+	cfg := Scale(DefaultConfig(cores), 64)
+	cfg.Seed = 42
+	cfg.PolicyOpt.Seed = 42
+	cfg.LLCPolicy = policy
+	return cfg
+}
+
+func TestGoldenFingerprints(t *testing.T) {
+	for _, tc := range goldenFingerprints {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel() // the corpus must agree under any -parallel value
+			res := NewFromNames(goldenConfig(len(tc.names), tc.policy), tc.names).Run(20_000, 80_000)
+			got := res.Fingerprint()
+			if tc.want == "" {
+				t.Fatalf("golden not set; got %s", got)
+			}
+			if got != tc.want {
+				t.Errorf("fingerprint drift:\n  got  %s\n  want %s\n"+
+					"Simulation semantics changed for an unchanged config. If this is "+
+					"intentional, bump the goldens deliberately (see the comment on "+
+					"goldenFingerprints) and bump schedule.KeySchema in the same commit.",
+					got, tc.want)
+			}
+		})
+	}
+}

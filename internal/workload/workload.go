@@ -6,6 +6,13 @@
 //	16-core:      60 workloads, at least 2 from each class
 //	20/24-core:   40 workloads each, at least 3 from each class
 //
+// and extends the paper's scalability axis past its 24-core ceiling with
+// synthesized 32/64/128-core studies (Extended) that keep the same
+// class-profile composition rule — a fixed minimum of every VL/L/M/H/VH
+// footprint class, the rest drawn uniformly — scaled proportionally to the
+// core count, so the thrashing-to-friendly pressure ratio the discrete
+// insertion policies are sensitive to is preserved as the machine grows.
+//
 // Mixes are drawn deterministically from a seed; a given (study, seed) pair
 // always yields the same workload list, so experiments and tests agree on
 // what "workload #17" means.
@@ -38,14 +45,42 @@ func Table6() []Study {
 	}
 }
 
-// StudyByCores returns the Table 6 study for a core count.
-func StudyByCores(cores int) (Study, bool) {
-	for _, s := range Table6() {
+// Extended returns the beyond-paper scalability studies: 32-, 64- and
+// 128-core mixes synthesized from the Table 4 application classes. The
+// per-class minimum grows with the core count at the 24-core study's ratio
+// (one eighth of the cores from each of the five classes, so five eighths
+// of every mix is class-pinned), and the mix counts shrink as the per-mix
+// simulation cost grows. With only 38 distinct benchmarks, mixes above 38
+// cores necessarily run multiple instances of the same application —
+// deliberate: co-running clones is exactly how commodity-scale consolidation
+// looks, and instances are decorrelated by per-core generator seeds.
+func Extended() []Study {
+	return []Study{
+		{Name: "32-core", Cores: 32, Count: 30, MinPerClass: 4},
+		{Name: "64-core", Cores: 64, Count: 20, MinPerClass: 8},
+		{Name: "128-core", Cores: 128, Count: 10, MinPerClass: 16},
+	}
+}
+
+// AllStudies returns the paper's Table 6 studies followed by the extended
+// scalability studies, in core order.
+func AllStudies() []Study {
+	return append(Table6(), Extended()...)
+}
+
+// StudyByCores returns the study (Table 6 or Extended) for a core count, or
+// an error naming the supported counts.
+func StudyByCores(cores int) (Study, error) {
+	for _, s := range AllStudies() {
 		if s.Cores == cores {
-			return s, true
+			return s, nil
 		}
 	}
-	return Study{}, false
+	supported := make([]int, 0, 8)
+	for _, s := range AllStudies() {
+		supported = append(supported, s.Cores)
+	}
+	return Study{}, fmt.Errorf("workload: no %d-core study (supported: %v)", cores, supported)
 }
 
 // Mix is one multi-programmed workload: one benchmark per core.

@@ -17,11 +17,66 @@ func TestTable6Studies(t *testing.T) {
 			t.Errorf("%s: count %d, want %d", s.Name, s.Count, wantCounts[s.Cores])
 		}
 	}
-	if s, ok := StudyByCores(16); !ok || s.MinPerClass != 2 {
+	if s, err := StudyByCores(16); err != nil || s.MinPerClass != 2 {
 		t.Fatal("16-core study should require 2 per class")
 	}
-	if _, ok := StudyByCores(7); ok {
+	if _, err := StudyByCores(7); err == nil {
 		t.Fatal("7-core study should not exist")
+	}
+}
+
+// TestExtendedStudies covers the beyond-paper scalability synthesizer:
+// StudyByCores must resolve 32/64/128 deterministically, every mix must
+// cover all five application classes, and unsupported counts must come back
+// as errors, never panics.
+func TestExtendedStudies(t *testing.T) {
+	cases := []struct {
+		cores       int
+		minPerClass int
+	}{
+		{32, 4},
+		{64, 8},
+		{128, 16},
+	}
+	for _, tc := range cases {
+		s, err := StudyByCores(tc.cores)
+		if err != nil {
+			t.Fatalf("StudyByCores(%d): %v", tc.cores, err)
+		}
+		if s.MinPerClass != tc.minPerClass {
+			t.Errorf("%d-core MinPerClass = %d, want %d", tc.cores, s.MinPerClass, tc.minPerClass)
+		}
+
+		// Deterministic across calls: identical (study, seed) -> identical mixes.
+		a, b := Mixes(s, 42), Mixes(s, 42)
+		if len(a) != s.Count {
+			t.Fatalf("%d-core: %d mixes, want %d", tc.cores, len(a), s.Count)
+		}
+		for i := range a {
+			for j := range a[i].Names {
+				if a[i].Names[j] != b[i].Names[j] {
+					t.Fatalf("%d-core mix %d not deterministic", tc.cores, i)
+				}
+			}
+		}
+
+		// Every mix satisfies its constraints, hence covers all app classes.
+		for _, m := range a {
+			if err := m.Validate(s); err != nil {
+				t.Fatalf("%d-core: %v (mix=%v)", tc.cores, err, m.Names)
+			}
+		}
+	}
+}
+
+// TestStudyByCoresUnsupported pins the error (not panic, not zero-value
+// success) contract for counts outside the supported grid.
+func TestStudyByCoresUnsupported(t *testing.T) {
+	for _, cores := range []int{0, -1, 2, 48, 256, 1024} {
+		s, err := StudyByCores(cores)
+		if err == nil {
+			t.Errorf("StudyByCores(%d) accepted; got study %+v", cores, s)
+		}
 	}
 }
 
