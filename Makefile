@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint vet fmt-check bench bench-smoke paperfig ci clean
+.PHONY: all build test test-race test-race-sim lint vet fmt-check bench bench-smoke paperfig ci clean
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 
 test-race:
 	$(GO) test -short -race ./...
+
+# Full (not -short) race pass over the packages where real threads share a
+# simulation: the parallel engine, and the scheduler's weighted pool.
+test-race-sim:
+	$(GO) test -race -count=1 ./internal/sim/... ./internal/schedule/...
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +34,7 @@ lint: vet fmt-check
 
 # Full benchmark sweep at Tiny fidelity (prints every regenerated table).
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/experiments
 
 # CI smoke: regenerate a representative figure/table set at Tiny fidelity
 # through the shared scheduler and emit the structured artifact CI uploads
@@ -41,6 +46,8 @@ bench-smoke: build
 	$(GO) run ./cmd/paperfig -fig 6 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig6.json
 	$(GO) test -bench 'Victim|FillChurn' -benchtime 1x -run '^$$' ./internal/policy > BENCH_policy_victim.txt || { cat BENCH_policy_victim.txt; exit 1; }
 	cat BENCH_policy_victim.txt
+	$(GO) test -bench 'RunMix16' -benchtime 1x -run '^$$' ./internal/sim > BENCH_sim_parallel.txt || { cat BENCH_sim_parallel.txt; exit 1; }
+	cat BENCH_sim_parallel.txt
 
 # Quick-fidelity regeneration of everything (minutes).
 paperfig:

@@ -17,8 +17,17 @@
 //
 // The experiment harnesses that regenerate every table and figure of the
 // paper live in internal/experiments and are reachable through the
-// cmd/paperfig binary and the benchmarks in bench_test.go; EXPERIMENTS.md
-// records paper-versus-measured outcomes.
+// cmd/paperfig binary and the benchmarks in that package's tests;
+// EXPERIMENTS.md records paper-versus-measured outcomes.
+//
+// Layout note: this file and adapt_test.go are deliberately the only Go
+// sources at the module root. A Go module's importable root package must
+// live in the root directory — `import "repro"` resolves here — so the
+// public API façade cannot move into internal/ without ceasing to be
+// public; everything else (experiment harnesses, their benchmarks, the
+// simulator) lives under internal/ or cmd/. The package is named adapt,
+// not repro, because the import comment idiom (`adapt "repro"`) gives
+// callers the paper's mechanism as the API name.
 package adapt
 
 import (

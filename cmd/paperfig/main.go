@@ -19,6 +19,13 @@
 //	-measure N       instructions/app measured     (default 600000)
 //	-warmup N        instructions/app warmed up    (default 150000)
 //	-seed N          experiment seed               (default 42)
+//	-parallel N      concurrent simulations        (default GOMAXPROCS)
+//	-sim-threads N   threads inside each sim       (default 1; <0 = auto)
+//
+// -parallel and -sim-threads spend one shared worker budget (a job costs
+// its thread count), and neither changes any output bit: simulations are
+// deterministic and the intra-simulation engine is provably
+// order-preserving, so both knobs are pure wall-clock trades.
 //
 // Output and caching flags:
 //
@@ -59,6 +66,7 @@ func main() {
 		warmup    = flag.Uint64("warmup", 150_000, "warm-up instructions per app")
 		seed      = flag.Uint64("seed", 42, "experiment seed")
 		par       = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		simThr    = flag.Int("sim-threads", 1, "threads inside each simulation (1 = serial, <0 = auto); results are bit-identical for every value")
 		jsonPath  = flag.String("json", "", "write a structured JSON artifact to this file")
 		csvDir    = flag.String("csv", "", "write per-table CSV files into this directory")
 		cacheDir  = flag.String("cache-dir", "", "on-disk simulation cache directory (e.g. "+schedule.DefaultCacheDir+")")
@@ -79,6 +87,7 @@ func main() {
 		MeasureInstr: *measure,
 		Seed:         *seed,
 		Parallelism:  *par,
+		SimThreads:   *simThr,
 	}
 	// Presets give the baseline; explicitly-passed fidelity flags still win
 	// (e.g. `-tiny -seed 7` is Tiny at seed 7, not seed 42).
@@ -88,6 +97,7 @@ func main() {
 			preset = experiments.Tiny()
 		}
 		preset.Parallelism = *par
+		preset.SimThreads = *simThr
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "cache-scale":

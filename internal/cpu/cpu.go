@@ -235,6 +235,24 @@ func (c *Core) RunBatch(limit uint64, yieldAtTie bool, maxSteps int, retireAt ui
 	}
 }
 
+// RunFree is the blocking-step sibling of RunBatch, for execution engines
+// whose memory system enforces ordering itself: it executes Steps until the
+// retired-instruction count reaches retireAt (which must be positive) and
+// calls published(clock) after every step so the engine can expose the
+// core's progress to its siblings. It never yields on a clock bound — when
+// a step must wait for other cores, the MemSystem implementation blocks the
+// calling goroutine mid-Access instead (internal/sim's conservative
+// parallel engine does exactly that at its substrate order gate).
+func (c *Core) RunFree(retireAt uint64, published func(clock uint64)) uint64 {
+	for {
+		clock := c.Step()
+		published(clock)
+		if c.retired >= retireAt {
+			return clock
+		}
+	}
+}
+
 // Drain stalls until all outstanding loads have completed; used when
 // freezing a core's cycle count at its instruction target.
 func (c *Core) Drain() uint64 {

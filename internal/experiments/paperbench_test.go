@@ -2,14 +2,17 @@
 // evaluation at reduced (Tiny) fidelity, printing the same rows/series the
 // paper reports. Run all of them with:
 //
-//	go test -bench=. -benchmem
+//	go test -bench=. -benchmem ./internal/experiments
 //
-// Full-fidelity regeneration is the cmd/paperfig binary's job (-full); the
-// benchmark harness exists so `go test -bench` exercises every experiment
-// path end to end and reports its cost. Each benchmark prints its table
-// once (on the first iteration) so the output doubles as a miniature
-// reproduction log.
-package adapt_test
+// (also the Makefile's `make bench`). Full-fidelity regeneration is the
+// cmd/paperfig binary's job (-full); the benchmark harness exists so
+// `go test -bench` exercises every experiment path end to end and reports
+// its cost. Each benchmark prints its table once (on the first iteration)
+// so the output doubles as a miniature reproduction log. It lives in the
+// external test package of internal/experiments — next to the harnesses it
+// drives — rather than at the module root, so the root directory holds
+// only the public adapt API.
+package experiments_test
 
 import (
 	"os"

@@ -30,6 +30,12 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// SimThreads is the intra-simulation thread count handed to every
+	// machine this harness builds (sim.Config.Threads): 0/1 = the serial
+	// loop, >1 = the conservative parallel engine, <0 = auto. Results are
+	// bit-identical across values; the scheduler budgets job width by it,
+	// so sim-level fan-out and per-sim threads share one worker pool.
+	SimThreads int
 	// AdaptInterval overrides ADAPT's monitoring interval in misses
 	// (0 = proportional default: 4x the LLC block count).
 	AdaptInterval uint64
@@ -103,6 +109,7 @@ func (o Options) baseConfig(cores int) sim.Config {
 	cfg := sim.Scale(sim.DefaultConfig(cores), o.Scale)
 	cfg.Seed = o.Seed
 	cfg.PolicyOpt.Seed = o.Seed
+	cfg.Threads = o.SimThreads
 	if o.AdaptInterval > 0 {
 		cfg.PolicyOpt.AdaptIntervalMisses = o.AdaptInterval
 	}

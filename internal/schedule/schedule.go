@@ -6,6 +6,11 @@
 // baseline runs shared by Figures 1/3/6/8 and Table 7 — execute exactly
 // once per process and optionally once per machine.
 //
+// Jobs have width: a simulation that runs intra-simulation threads
+// (sim.Config.Threads) occupies that many workers while it executes, so
+// sim-level fan-out and per-sim threads spend one bounded budget instead
+// of multiplying into GOMAXPROCS oversubscription.
+//
 // The scheduler has three cooperating mechanisms:
 //
 //   - Content-addressed job keys: Job.Key() digests the fully-configured
@@ -85,6 +90,13 @@ func (j Job) run() sim.Result {
 	return sim.NewFromNames(j.Config, j.Names).Run(j.Warmup, j.Measure)
 }
 
+// width is how many pool workers the job occupies while executing: its
+// effective intra-simulation thread count. Width is an execution property,
+// not an identity one — like Segment it deliberately stays out of Key().
+func (j Job) width() int {
+	return j.Config.EffectiveThreads()
+}
+
 // Stats counts scheduler traffic. Hits()>0 across two harnesses proves the
 // grids overlap and the dedup machinery is earning its keep.
 type Stats struct {
@@ -123,10 +135,56 @@ type flight struct {
 	res  sim.Result
 }
 
+// widthPool is the scheduler's weighted worker budget. Jobs are no longer
+// uniformly one goroutine wide: a simulation may run several
+// intra-simulation threads (sim.Config.Threads), and admitting jobs by
+// count alone would oversubscribe GOMAXPROCS by the mean thread count.
+// The pool therefore grants each job its width in workers; outer sim-level
+// fan-out and inner per-sim threads spend one shared budget.
+type widthPool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	avail int
+}
+
+func newWidthPool(capacity int) *widthPool {
+	p := &widthPool{cap: capacity, avail: capacity}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquire blocks until n workers are free and claims them, returning the
+// granted width. Requests wider than the whole pool clamp to it (a
+// 128-core auto-threaded job on an 8-way pool runs 8 threads' worth of
+// budget, not never), so acquire cannot deadlock.
+func (p *widthPool) acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.cap {
+		n = p.cap
+	}
+	p.mu.Lock()
+	for p.avail < n {
+		p.cond.Wait()
+	}
+	p.avail -= n
+	p.mu.Unlock()
+	return n
+}
+
+func (p *widthPool) release(n int) {
+	p.mu.Lock()
+	p.avail += n
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
 // Scheduler is a bounded, memoizing simulation executor. The zero value is
 // not usable; use New or Shared.
 type Scheduler struct {
-	sem chan struct{} // worker-pool tokens; capacity bounds concurrency
+	pool *widthPool // weighted worker budget; see widthPool
 
 	// runFn executes one job; tests substitute it to observe scheduling
 	// behaviour without paying for real simulations.
@@ -146,7 +204,7 @@ func New(workers int) *Scheduler {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Scheduler{
-		sem:      make(chan struct{}, workers),
+		pool:     newWidthPool(workers),
 		runFn:    Job.run,
 		mem:      map[string]sim.Result{},
 		inflight: map[string]*flight{},
@@ -226,9 +284,9 @@ func (s *Scheduler) Run(j Job) sim.Result {
 		}
 	}
 
-	s.sem <- struct{}{}
+	granted := s.pool.acquire(j.width())
 	res := s.runFn(j)
-	<-s.sem
+	s.pool.release(granted)
 
 	if disk != nil {
 		if err := disk.write(key, j, res); err != nil {
@@ -245,9 +303,9 @@ func (s *Scheduler) Run(j Job) sim.Result {
 // silently skipping the side effects the caller actually wants.
 func (s *Scheduler) RunUncached(j Job) sim.Result {
 	s.count(func(st *Stats) { st.Submitted++; st.Uncached++ })
-	s.sem <- struct{}{}
+	granted := s.pool.acquire(j.width())
 	res := s.runFn(j)
-	<-s.sem
+	s.pool.release(granted)
 	return res
 }
 

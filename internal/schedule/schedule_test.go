@@ -120,6 +120,66 @@ func TestRunSingleflight(t *testing.T) {
 	}
 }
 
+// TestPoolBudgetsJobWidth proves the pool charges jobs their
+// intra-simulation thread count: on a 4-worker pool, 2-thread jobs may run
+// at most two at a time, and the in-flight thread total never exceeds the
+// budget. Without width accounting, eight 2-thread jobs would oversubscribe
+// the pool 4x.
+func TestPoolBudgetsJobWidth(t *testing.T) {
+	s := New(4)
+	var inFlight, maxInFlight atomic.Int64
+	s.runFn = func(j Job) sim.Result {
+		width := int64(j.width())
+		now := inFlight.Add(width)
+		for {
+			max := maxInFlight.Load()
+			if now <= max || maxInFlight.CompareAndSwap(max, now) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-width)
+		return fakeRun(1)(j)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := testJob(uint64(100 + i)) // distinct keys: no dedup
+			j.Config.Threads = 2
+			if got := j.width(); got != 2 {
+				t.Errorf("job width = %d, want 2", got)
+			}
+			s.RunUncached(j)
+		}(i)
+	}
+	wg.Wait()
+	if got := maxInFlight.Load(); got > 4 {
+		t.Fatalf("pool admitted %d threads' worth of work on a 4-worker budget", got)
+	}
+}
+
+// TestPoolClampsOverwideJobs: a job wider than the whole pool must clamp
+// to it and run, not deadlock.
+func TestPoolClampsOverwideJobs(t *testing.T) {
+	s := New(2)
+	s.runFn = fakeRun(9)
+	j := testJob(1, "calc", "libq", "mcf", "lbm")
+	j.Config.Threads = 4 // wider than the 2-worker pool
+	done := make(chan sim.Result, 1)
+	go func() { done <- s.Run(j) }()
+	select {
+	case r := <-done:
+		if r.Apps[0].Cycles != 9 {
+			t.Fatal("wrong result for clamped job")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("over-wide job deadlocked the pool")
+	}
+}
+
 func TestDistinctJobsDoNotShare(t *testing.T) {
 	s := New(2)
 	var executions atomic.Uint64

@@ -7,8 +7,13 @@ import "testing"
 // batching work in run.go is tuned against.
 
 func benchRun(b *testing.B, cores int, names []string) {
+	benchRunThreads(b, cores, 0, names)
+}
+
+func benchRunThreads(b *testing.B, cores, threads int, names []string) {
 	b.Helper()
 	cfg := quickConfig(cores)
+	cfg.Threads = threads
 	var instr uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -42,3 +47,19 @@ func BenchmarkRunMix16(b *testing.B) {
 		"milc", "mesa", "STRM", "calc", "mcf", "libq", "gcc", "lbm",
 	})
 }
+
+// benchRunParallel is BenchmarkRunMix16's mix under intra-simulation
+// threads on the conservative parallel engine. Parallel1 resolves to the
+// serial loop (pure dispatch, no engine); 4 and 8 are the speedup claims —
+// meaningful only on a multi-core host, so read them from the CI artifact
+// (BENCH_sim_parallel.txt), not a laptop on battery or a 1-CPU container.
+func benchRunParallel(b *testing.B, threads int) {
+	benchRunThreads(b, 16, threads, []string{
+		"calc", "mcf", "libq", "gcc", "lbm", "art", "eon", "gob",
+		"milc", "mesa", "STRM", "calc", "mcf", "libq", "gcc", "lbm",
+	})
+}
+
+func BenchmarkRunMix16Parallel1(b *testing.B) { benchRunParallel(b, 1) }
+func BenchmarkRunMix16Parallel4(b *testing.B) { benchRunParallel(b, 4) }
+func BenchmarkRunMix16Parallel8(b *testing.B) { benchRunParallel(b, 8) }

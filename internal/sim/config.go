@@ -54,6 +54,18 @@ type Config struct {
 	// Seed feeds policy monitor sampling and anything else stochastic.
 	Seed uint64
 
+	// Threads is the intra-simulation thread count: how many core
+	// goroutines may run simulation work concurrently inside one System.
+	// 0 or 1 selects the serial reference event loop; values above 1 run
+	// the conservative parallel engine (see parallel.go); negative values
+	// pick an automatic count (min of cores and GOMAXPROCS). Results are
+	// bit-identical for every value — the parallel engine reproduces the
+	// serial (clock, core-index) total order exactly — which is why the
+	// field is excluded from Fingerprint: two runs differing only in
+	// Threads are the same simulation, and memoized results are shared
+	// across thread counts. System.SetParallel overrides it per system.
+	Threads int `fingerprint:"-"`
+
 	// LLCAccessHook, if set, observes every demand access that reaches the
 	// LLC (used by the Table 4 footprint-measurement harness). It must not
 	// mutate simulator state.

@@ -25,7 +25,11 @@ const FingerprintSchema = "sim-config/v1"
 // Func-typed fields (observation hooks such as LLCAccessHook) are excluded:
 // hooks must not mutate simulator state, so they cannot change a Result.
 // Callers that rely on hook side effects must not memoize by fingerprint —
-// internal/schedule routes those runs through its uncached path.
+// internal/schedule routes those runs through its uncached path. Fields
+// tagged `fingerprint:"-"` (execution-engine knobs such as Threads) are
+// likewise excluded: they are proven not to change a Result (see
+// TestParallelInvariance), so runs differing only in them share one
+// identity and one memoized result.
 func (c Config) Fingerprint() string {
 	h := sha256.New()
 	io.WriteString(h, FingerprintSchema)
@@ -60,7 +64,7 @@ func fingerprintValue(w io.Writer, v reflect.Value) {
 		io.WriteString(w, "{")
 		for i := 0; i < v.NumField(); i++ {
 			f := t.Field(i)
-			if f.Type.Kind() == reflect.Func {
+			if f.Type.Kind() == reflect.Func || f.Tag.Get("fingerprint") == "-" {
 				continue
 			}
 			io.WriteString(w, "|"+f.Name+"=")

@@ -1,0 +1,449 @@
+// Conservative intra-simulation parallelism.
+//
+// The serial event loop in run.go executes core steps in strictly
+// increasing (pre-step clock, core index) order; because a core's clock is
+// monotone, that greedy order is exactly the stable sort of all steps by
+// their pre-step order key. Two further facts make a conservative parallel
+// split possible without any speculation or rollback:
+//
+//  1. A step's private portion (L1/L2 lookups, private pools, the trace
+//     generator) touches only per-core state, so its wall-clock execution
+//     moment is irrelevant — only the core's own program order matters.
+//  2. All cross-core state lives behind the Substrate interface, and the
+//     substrate operations of a step inherit the step's order key, so the
+//     serial substrate mutation sequence is "all Fetch/Writeback calls,
+//     sorted by (pre-step clock, core index)".
+//
+// The engine therefore runs one goroutine per core. Each core publishes
+// its current order key (the pre-step key of the step it is executing or
+// about to execute) in a padded atomic; keys only ever grow. A core runs
+// its private work completely freely and blocks in only two places:
+//
+//   - Substrate gate: a Fetch/Writeback may execute only when the core's
+//     key is the global minimum — every other core has published a larger
+//     key, and since keys are monotone, no core can ever produce a
+//     substrate call that sorts earlier. The operation then runs under the
+//     engine mutex against the single-threaded substrate.
+//   - Crossed-core horizon: the serial loop stops at the final
+//     target-crossing step (key K*), so a core that has already crossed
+//     may only execute steps whose key precedes K*. K* is unknown until
+//     the last core crosses, but it is bounded below by every uncrossed
+//     core's current key; a crossed core waits until the low-water mark of
+//     the uncrossed cores passes its next step's key (or until all cores
+//     have crossed, at which point K* is exact and the core drains up to
+//     it and stops). Uncrossed cores need no horizon at all: every one of
+//     their steps up to and including their crossing step is executed by
+//     the serial loop regardless of what other cores do.
+//
+// Wake-ups ride on the keys themselves: a waiter registers the key it is
+// blocked on, and any core whose published key rises across the lowest
+// registered wait key broadcasts. The result is bit-identical to the
+// serial loop for every thread count — the golden corpus and
+// TestParallelInvariance enforce it — because the executed step multiset
+// and the substrate call sequence are both provably identical.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// keyIdxBits is the width of the core-index field in a packed order key:
+// key = clock<<keyIdxBits | core. 10 bits supports the 128-core
+// beyond-paper studies with headroom while leaving 54 clock bits —
+// ~5*10^16 cycles, far beyond any simulated window.
+const keyIdxBits = 10
+
+// maxParallelCores is the widest machine the packed key supports; wider
+// systems fall back to the serial loop.
+const maxParallelCores = 1 << keyIdxBits
+
+// keyInf sorts after every real key; it marks cores that are stopped (or
+// were already past target at entry) so they never gate anyone.
+const keyInf = ^uint64(0)
+
+// orderKey packs a core's pre-step clock and index into one comparable
+// word. Lexicographic (clock, index) order becomes plain uint64 order.
+func orderKey(clock uint64, core int) uint64 {
+	return clock<<keyIdxBits | uint64(core)
+}
+
+// gateSpin bounds the optimistic spin at the substrate gate before a core
+// parks on the condition variable. Spinning (with yields) keeps the
+// blocked core's wake-up off the critical path when the cores just ahead
+// of it are actively running; parking keeps the engine honest about its
+// thread budget when they are not.
+const gateSpin = 64
+
+// paddedKey keeps each core's published order key on its own cache line;
+// the keys are stored once per step by their owner and scanned by gating
+// cores, which would otherwise false-share eight cores per line.
+type paddedKey struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// parEngine is one parallel execution of runUntilRetired.
+type parEngine struct {
+	s      *System
+	target uint64
+
+	freezeCycles, freezeInstr []uint64
+
+	// keys[i] is core i's current order key: the pre-step key of the step
+	// it is executing or about to execute, keyInf once it has stopped.
+	// Written only by core i; read by everyone.
+	keys []paddedKey
+
+	// minWait mirrors the minimum registered wait key (keyInf when nobody
+	// waits) so running cores can detect with one atomic load per step
+	// whether their latest key advance crossed a sleeper.
+	minWait atomic.Uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Everything below is guarded by mu.
+	waitKey   []uint64 // per-core registered wait key; keyInf = not waiting
+	crossed   []bool
+	crossKey  []uint64 // pre-step key of core i's target-crossing step
+	uncrossed int      // cores still short of target
+	finalKey  uint64   // == max crossing key (K*) once uncrossed hits 0
+
+	// tokens bounds how many core goroutines run simulation work
+	// concurrently; a core parked at either gate returns its token so the
+	// thread budget is spent on runnable cores.
+	tokens chan struct{}
+}
+
+// resolveThreads turns a Threads knob into the concrete thread count for a
+// machine of the given width: the automatic count (<0) resolves to
+// GOMAXPROCS, the result is clamped to the core count, and machines wider
+// than the packed key's index field run serially.
+func resolveThreads(threads, cores int) int {
+	if threads < 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > cores {
+		threads = cores
+	}
+	if threads < 1 || cores > maxParallelCores {
+		return 1
+	}
+	return threads
+}
+
+// EffectiveThreads resolves the Config's Threads knob to the thread count
+// a System built from this Config will actually use — the width a
+// scheduler should budget for the job (see internal/schedule).
+func (c Config) EffectiveThreads() int {
+	return resolveThreads(c.Threads, c.Cores)
+}
+
+// effectiveThreads resolves the engine selection for this system from the
+// SetParallel override (initialised from Config.Threads).
+func (s *System) effectiveThreads() int {
+	return resolveThreads(s.threads, len(s.cores))
+}
+
+// runParallel is the conservative parallel counterpart of the serial
+// branch of runUntilRetired: identical contract, identical results.
+func (s *System) runParallel(threads int, target uint64, freezeCycles, freezeInstr []uint64) {
+	n := len(s.cores)
+	e := &parEngine{
+		s:            s,
+		target:       target,
+		freezeCycles: freezeCycles,
+		freezeInstr:  freezeInstr,
+		keys:         make([]paddedKey, n),
+		waitKey:      make([]uint64, n),
+		crossed:      make([]bool, n),
+		crossKey:     make([]uint64, n),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.minWait.Store(keyInf)
+
+	participants := 0
+	for i, c := range s.cores {
+		e.waitKey[i] = keyInf
+		if c.Retired() >= target {
+			// Already past target at entry: the serial loop records the
+			// core immediately and never schedules it.
+			e.record(i)
+			e.crossed[i] = true
+			e.keys[i].v.Store(keyInf)
+			continue
+		}
+		e.keys[i].v.Store(orderKey(c.Clock(), i))
+		participants++
+	}
+	e.uncrossed = participants
+	if participants == 0 {
+		return
+	}
+	if threads > participants {
+		threads = participants
+	}
+	e.tokens = make(chan struct{}, threads)
+	for i := 0; i < threads; i++ {
+		e.tokens <- struct{}{}
+	}
+
+	// Route every core's misses through its order gate for the duration
+	// of the run. The swap happens before the goroutines start and is
+	// undone after they join, so the serial loop never pays for it.
+	for _, p := range s.paths {
+		p.sub = &gatedSubstrate{e: e, id: p.id, sub: s.sub}
+	}
+	defer func() {
+		for _, p := range s.paths {
+			p.sub = s.sub
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := range s.cores {
+		if e.crossed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.runCore(id)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// record snapshots core i's cycle and retired-instruction counts, exactly
+// where the serial loop records them: at the crossing step.
+func (e *parEngine) record(i int) {
+	if e.freezeCycles != nil {
+		e.freezeCycles[i] = e.s.cores[i].Clock()
+	}
+	if e.freezeInstr != nil {
+		e.freezeInstr[i] = e.s.cores[i].Retired()
+	}
+}
+
+// runCore is one core's goroutine: free-run to the target, then keep
+// executing (to preserve contention) exactly the steps the serial loop
+// would, then stop.
+func (e *parEngine) runCore(id int) {
+	c := e.s.cores[id]
+	e.acquireToken()
+
+	// Free-running phase: no execution gate. Every step of an uncrossed
+	// core up to and including its crossing step is executed by the serial
+	// loop no matter how the other cores interleave, so only the substrate
+	// gate inside Fetch/Writeback constrains this phase.
+	stepKey := e.keys[id].v.Load() // pre-step key of the step about to run
+	crossK := stepKey              // pre-step key of the crossing step
+	c.RunFree(e.target, func(clock uint64) {
+		if c.Retired() >= e.target {
+			// The crossing step. Its post-step key is NOT published here:
+			// while this core still counts as uncrossed, its published key
+			// must never exceed its crossing key, or the uncrossed
+			// low-water mark would transiently overshoot K* and let an
+			// already-crossed core execute a step the serial loop never
+			// runs. The key advances below, atomically with the crossed
+			// flag.
+			crossK = stepKey
+			return
+		}
+		next := orderKey(clock, id)
+		e.publish(id, stepKey, next)
+		stepKey = next
+	})
+	e.record(id)
+
+	e.mu.Lock()
+	e.crossed[id] = true
+	e.crossKey[id] = crossK
+	e.uncrossed--
+	if e.uncrossed == 0 {
+		// K* is the key of the last crossing step in serial order; the
+		// serial order of the crossing steps is their key order, so K* is
+		// simply the maximum (never-run cores contribute zero).
+		for _, k := range e.crossKey {
+			if k > e.finalKey {
+				e.finalKey = k
+			}
+		}
+	}
+	e.keys[id].v.Store(orderKey(c.Clock(), id)) // deferred crossing-step publish
+	e.cond.Broadcast()                          // horizon moved: waiters re-check
+	e.mu.Unlock()
+
+	// Crossed phase: one step at a time, each gated on the uncrossed
+	// low-water mark (or on exact K* once it is known).
+	for {
+		k := orderKey(c.Clock(), id)
+		if !e.gateCrossed(id, k) {
+			break
+		}
+		clock := c.Step()
+		e.publish(id, k, orderKey(clock, id))
+	}
+
+	// Stop: leave the order entirely.
+	e.mu.Lock()
+	e.keys[id].v.Store(keyInf)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.releaseToken()
+}
+
+// publish stores core id's new order key and wakes sleepers the advance
+// may have unblocked: if the key rose across the lowest registered wait
+// key, this core was (one of) the cores that waiter was waiting out.
+func (e *parEngine) publish(id int, prev, next uint64) {
+	e.keys[id].v.Store(next)
+	if w := e.minWait.Load(); prev <= w && w < next {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// othersPast reports whether every other core's published key is strictly
+// after k. Keys are monotone and contain the core index, so once this
+// holds it holds forever (for a fixed k) — a stale read is merely
+// conservative.
+func (e *parEngine) othersPast(k uint64, id int) bool {
+	for j := range e.keys {
+		if j != id && e.keys[j].v.Load() <= k {
+			return false
+		}
+	}
+	return true
+}
+
+// minUncrossedKey returns the low-water mark of the cores still short of
+// target. Callers hold mu.
+func (e *parEngine) minUncrossedKey() uint64 {
+	min := keyInf
+	for j := range e.crossed {
+		if !e.crossed[j] {
+			if k := e.keys[j].v.Load(); k < min {
+				min = k
+			}
+		}
+	}
+	return min
+}
+
+// beginWait / endWait bracket a cond.Wait, keeping waitKey and its mirror
+// minWait coherent. Callers hold mu.
+func (e *parEngine) beginWait(id int, k uint64) {
+	e.waitKey[id] = k
+	if k < e.minWait.Load() {
+		e.minWait.Store(k)
+	}
+}
+
+func (e *parEngine) endWait(id int) {
+	e.waitKey[id] = keyInf
+	min := keyInf
+	for _, w := range e.waitKey {
+		if w < min {
+			min = w
+		}
+	}
+	e.minWait.Store(min)
+}
+
+// park puts the calling core to sleep on the engine condition variable
+// with its token returned to the pool, then reacquires the token after
+// waking. Callers hold mu on entry and on return, and must have already
+// registered their wait key AND re-checked their predicate under mu after
+// registering — registration-before-recheck is what closes the lost-wakeup
+// race against publish's lock-free minWait test (a key transition landing
+// between a bare check and a later registration would never broadcast).
+func (e *parEngine) park(id int) {
+	e.releaseToken()
+	e.cond.Wait()
+	e.endWait(id)
+	e.mu.Unlock()
+	e.acquireToken()
+	e.mu.Lock()
+}
+
+// enter blocks until core id's pending substrate operation is globally
+// next in order, then returns with mu held; the caller executes the
+// operation against the single-threaded substrate and unlocks.
+func (e *parEngine) enter(id int) {
+	k := e.keys[id].v.Load()
+	// Optimistic phase: the cores ahead of us are usually running and
+	// about to pass k; yielding to them is far cheaper than a park/unpark
+	// round trip on the critical path of the whole order.
+	for spin := 0; spin < gateSpin; spin++ {
+		if e.othersPast(k, id) {
+			e.mu.Lock()
+			return
+		}
+		runtime.Gosched()
+	}
+	e.mu.Lock()
+	for !e.othersPast(k, id) {
+		e.beginWait(id, k)
+		if e.othersPast(k, id) { // decisive re-check after registering
+			e.endWait(id)
+			break
+		}
+		e.park(id)
+	}
+}
+
+// gateCrossed reports whether a crossed core may execute its next step
+// (pre-step key k): true once the step provably precedes the final
+// crossing step K*, false once all cores have crossed and k does not.
+// Blocks (token returned) while neither is decidable yet.
+func (e *parEngine) gateCrossed(id int, k uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.uncrossed == 0 {
+			return k < e.finalKey
+		}
+		// K* is at least every uncrossed core's crossing key, hence at
+		// least the uncrossed low-water mark.
+		if k < e.minUncrossedKey() {
+			return true
+		}
+		e.beginWait(id, k)
+		if k < e.minUncrossedKey() { // decisive re-check after registering
+			e.endWait(id)
+			continue
+		}
+		e.park(id)
+	}
+}
+
+func (e *parEngine) acquireToken() { <-e.tokens }
+func (e *parEngine) releaseToken() { e.tokens <- struct{}{} }
+
+// gatedSubstrate is the per-core order gate the engine installs in front
+// of the shared substrate for the duration of a parallel run: every
+// Fetch/Writeback first proves it is globally next in (clock, core-index)
+// order, then runs under the engine mutex.
+type gatedSubstrate struct {
+	e   *parEngine
+	id  int
+	sub Substrate
+}
+
+func (g *gatedSubstrate) Fetch(core int, block, pc uint64, write, demand bool, at uint64) uint64 {
+	g.e.enter(g.id)
+	v := g.sub.Fetch(core, block, pc, write, demand, at)
+	g.e.mu.Unlock()
+	return v
+}
+
+func (g *gatedSubstrate) Writeback(core int, block uint64, at uint64) uint64 {
+	g.e.enter(g.id)
+	v := g.sub.Writeback(core, block, at)
+	g.e.mu.Unlock()
+	return v
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestParallelInvariance is the acceptance test of the conservative
+// parallel engine, the analog of TestBatchInvariance: the same 4-core mix
+// must produce a bit-identical Result — exact uint64/float64 equality,
+// compared through the Result fingerprint — for every thread count,
+// including the serial reference (1), counts above the core count (which
+// clamp), and the automatic count (-1).
+func TestParallelInvariance(t *testing.T) {
+	cfg := quickConfig(4)
+	names := []string{"calc", "mcf", "libq", "gcc"}
+	run := func(threads int) Result {
+		s := NewFromNames(cfg, names)
+		s.SetParallel(threads)
+		return s.Run(10_000, 50_000)
+	}
+	want := run(1)
+	wantFP := want.Fingerprint()
+	for _, threads := range []int{2, 3, 4, 8, -1} {
+		got := run(threads)
+		if fp := got.Fingerprint(); fp != wantFP {
+			for i := range want.Apps {
+				if want.Apps[i] != got.Apps[i] {
+					t.Errorf("threads=%d: app %d diverged:\n  serial:     %+v\n  threads=%d: %+v",
+						threads, i, want.Apps[i], threads, got.Apps[i])
+				}
+			}
+			t.Fatalf("threads=%d: result fingerprint %s != %s (serial)", threads, fp, wantFP)
+		}
+	}
+}
+
+// TestParallelInvarianceAcrossPolicies widens the net exactly as the batch
+// test does: serial and 4-thread runs must agree under policies with very
+// different LLC mutation patterns (global duel counters, SHCT tables,
+// EAF filters), on a mix whose apps finish at different times — the
+// crossed-core horizon path is where a parallel engine would diverge first.
+func TestParallelInvarianceAcrossPolicies(t *testing.T) {
+	names := []string{"eon", "lbm", "libq", "STRM"}
+	for _, pol := range []string{"lru", "tadrrip", "adapt", "ship", "eaf"} {
+		cfg := quickConfig(4)
+		cfg.LLCPolicy = pol
+		run := func(threads int) string {
+			s := NewFromNames(cfg, names)
+			s.SetParallel(threads)
+			return s.Run(5_000, 30_000).Fingerprint()
+		}
+		if a, b := run(1), run(4); a != b {
+			t.Errorf("%s: parallel execution diverges from the serial loop", pol)
+		}
+	}
+}
+
+// TestParallelConfigThreads proves the Config knob and the SetParallel
+// override route to the same engine: Threads in the Config must behave
+// exactly like SetParallel, and must not change the Result or the Config
+// fingerprint (the field is excluded so memoized results are shared
+// across thread counts).
+func TestParallelConfigThreads(t *testing.T) {
+	cfg := quickConfig(4)
+	names := []string{"calc", "mcf", "libq", "gcc"}
+	serial := NewFromNames(cfg, names).Run(5_000, 20_000).Fingerprint()
+
+	par := cfg
+	par.Threads = 4
+	if got := NewFromNames(par, names).Run(5_000, 20_000).Fingerprint(); got != serial {
+		t.Fatalf("Config.Threads=4 diverges from serial: %s != %s", got, serial)
+	}
+	if cfg.Fingerprint() != par.Fingerprint() {
+		t.Fatal("Threads leaked into the Config fingerprint; runs differing only in thread count must share one identity")
+	}
+}
+
+// TestParallelSingleCore pins the degenerate cases: one core, thread
+// counts wider than the machine, and a zero-instruction measure window
+// must all take the serial-equivalent path and terminate.
+func TestParallelSingleCore(t *testing.T) {
+	cfg := quickConfig(1)
+	run := func(threads int) string {
+		s := NewFromNames(cfg, []string{"mcf"})
+		s.SetParallel(threads)
+		return s.Run(2_000, 10_000).Fingerprint()
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatal("single-core system diverges under a parallel thread count")
+	}
+}
+
+// TestParallelUnevenFinishers stresses the crossed-core horizon with a
+// compute-bound app (crosses its instruction target in few cycles) next to
+// memory-bound thrashers (many cycles per instruction): the fast core
+// spends most of the run in the crossed phase, executing exactly the steps
+// the serial loop would before the last thrasher crosses.
+func TestParallelUnevenFinishers(t *testing.T) {
+	cfg := quickConfig(6)
+	names := []string{"calc", "lbm", "STRM", "libq", "calc", "mcf"}
+	run := func(threads int) string {
+		s := NewFromNames(cfg, names)
+		s.SetParallel(threads)
+		return s.Run(8_000, 40_000).Fingerprint()
+	}
+	want := run(1)
+	for _, threads := range []int{2, 4, 6} {
+		if got := run(threads); got != want {
+			t.Fatalf("threads=%d diverged on uneven finishers", threads)
+		}
+	}
+}

@@ -114,6 +114,14 @@ func (h *frontier) runnerUp() int {
 	}
 }
 
+// SetParallel sets the intra-simulation thread count for subsequent Run
+// calls, overriding Config.Threads; it mirrors SetMaxBatch as the test
+// knob of the execution engine. n <= 1 selects the serial reference loop,
+// n > 1 runs the conservative parallel engine on up to n concurrent core
+// threads, and n < 0 selects the automatic count (see Config.Threads).
+// Any value yields bit-identical Results — see TestParallelInvariance.
+func (s *System) SetParallel(n int) { s.threads = n }
+
 // SetMaxBatch caps how many steps a core may execute per event-loop batch.
 // Zero (the default) is adaptive: a batch is bounded only by the inter-core
 // slack — the core runs exactly until it stops being the globally earliest
@@ -138,6 +146,10 @@ func (s *System) SetMaxBatch(n int) { s.maxBatch = n }
 // index). The executed step sequence — and therefore every Result bit — is
 // thus independent of batch size; see TestBatchInvariance.
 func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint64) {
+	if t := s.effectiveThreads(); t > 1 {
+		s.runParallel(t, target, freezeCycles, freezeInstr)
+		return
+	}
 	n := len(s.cores)
 	record := func(i int) {
 		if freezeCycles != nil {
@@ -204,19 +216,19 @@ func (s *System) Run(warmup, measure uint64) Result {
 	for i, c := range s.cores {
 		c.ResetStats()
 		startCycles[i] = c.Clock()
-		s.l1[i].Stats().Reset()
-		s.l2[i].Stats().Reset()
+		s.paths[i].l1.Stats().Reset()
+		s.paths[i].l2.Stats().Reset()
 	}
-	s.llc.Stats().Reset()
-	s.dram.Stats().Reset()
-	s.arb.ResetStats()
+	s.sub.llc.Stats().Reset()
+	s.sub.dram.Stats().Reset()
+	s.sub.arb.ResetStats()
 
 	freezeCycles := make([]uint64, len(s.cores))
 	freezeInstr := make([]uint64, len(s.cores))
 	s.runUntilRetired(measure, freezeCycles, freezeInstr)
 
 	res := Result{Apps: make([]AppResult, len(s.cores))}
-	llcStats := s.llc.Stats()
+	llcStats := s.sub.llc.Stats()
 	for i := range s.cores {
 		cycles := freezeCycles[i] - startCycles[i]
 		instr := freezeInstr[i] // retired count at the freeze point
@@ -226,7 +238,7 @@ func (s *System) Run(warmup, measure uint64) Result {
 			LLCDemandAccesses: llcStats.DemandAccesses[i],
 			LLCDemandMisses:   llcStats.DemandMisses[i],
 			LLCBypasses:       llcStats.Bypasses[i],
-			ArbiterMeanWait:   s.arb.MeanWait(i),
+			ArbiterMeanWait:   s.sub.arb.MeanWait(i),
 		}
 		if cycles > 0 {
 			app.IPC = float64(instr) / float64(cycles)
@@ -235,6 +247,6 @@ func (s *System) Run(warmup, measure uint64) Result {
 		app.LLCMPKI = metrics.MPKI(llcStats.DemandMisses[i], instr)
 		res.Apps[i] = app
 	}
-	res.DRAMRowHitRate = s.dram.Stats().RowHitRate()
+	res.DRAMRowHitRate = s.sub.dram.Stats().RowHitRate()
 	return res
 }

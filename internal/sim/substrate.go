@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"repro/internal/arbiter"
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Substrate is the shared half of the machine: everything cores can
+// contend on — the banked LLC behind its VPC arbiter, the DRAM model, and
+// the LLC-side MSHR/write-back pools. A core's private hierarchy (its L1,
+// L2 and their pools; see corePath) reaches shared state only through these
+// two entry points, which is the structural fact the conservative parallel
+// engine (parallel.go) builds on: private-hierarchy execution is
+// independent across cores by construction, so only Fetch and Writeback
+// calls need the global (clock, core-index) order of the serial event loop.
+//
+// Implementations are single-threaded by contract: callers must guarantee
+// one call at a time (the serial loop trivially does; the parallel engine
+// serialises calls behind its order gate).
+type Substrate interface {
+	// Fetch serves an L2 miss for block: through the VPC arbiter to an LLC
+	// bank, and on an LLC miss through the LLC MSHRs to DRAM. at is the
+	// time the request leaves the core's L2 MSHRs; the return value is the
+	// time the data is available to the private hierarchy.
+	Fetch(core int, block, pc uint64, write, demand bool, at uint64) uint64
+
+	// Writeback drains a dirty L2 victim: an LLC bank slot via the
+	// arbiter; a resident LLC copy absorbs the write, otherwise the victim
+	// writes through to DRAM. at is the time the victim leaves the core's
+	// L2 write-back buffer; the return value is the drain completion time.
+	Writeback(core int, block uint64, at uint64) uint64
+}
+
+// sharedSubstrate is the reference Substrate: the paper's Table 3 shared
+// fabric, mutated in presentation order by exactly one caller at a time.
+// The scratch records are reused across calls so the policy interface does
+// not force a heap allocation per LLC reference (same trick as corePath's
+// private scratches).
+type sharedSubstrate struct {
+	cfg *Config
+
+	llc  *cache.Cache
+	dram *mem.DDR2
+	arb  *arbiter.VPC
+
+	llcMSHR *cache.TimedPool
+	llcWB   *cache.TimedPool
+
+	scratchLLC, scratchWB cache.Access
+}
+
+// Fetch implements Substrate. The statement order — arbiter grant, access
+// hook, LLC lookup, MSHR reservation, DRAM access, dirty-victim drain — is
+// load-bearing: it is the serial event loop's mutation order, and the
+// golden-fingerprint corpus pins it.
+func (u *sharedSubstrate) Fetch(core int, block, pc uint64, write, demand bool, at uint64) uint64 {
+	set := u.llc.SetOf(block)
+	start := u.arb.Schedule(core, u.arb.BankOf(set), at)
+	t4 := start + u.cfg.LLCLatency
+
+	if demand && u.cfg.LLCAccessHook != nil {
+		u.cfg.LLCAccessHook(core, set, block)
+	}
+	u.scratchLLC = cache.Access{Block: block, Core: core, PC: pc, Write: write, Demand: demand}
+	rl := u.llc.Access(&u.scratchLLC)
+
+	if rl.Hit {
+		return t4
+	}
+	// DRAM read (whether the LLC allocated or bypassed).
+	dramAt := u.llcMSHR.Reserve(t4)
+	done, _ := u.dram.Access(dramAt, block, false)
+	u.llcMSHR.Occupy(t4, done)
+	if rl.EvictedValid && rl.Evicted.Dirty {
+		u.dirtyVictimToDRAM(rl.Evicted.Block, t4)
+	}
+	return done
+}
+
+// Writeback implements Substrate. No allocation on a miss — filling the
+// LLC with blocks the L2 just evicted would churn the cache and, under
+// high-turnover policies, roughly double DRAM write traffic.
+func (u *sharedSubstrate) Writeback(core int, block uint64, at uint64) uint64 {
+	set := u.llc.SetOf(block)
+	start := u.arb.Schedule(core, u.arb.BankOf(set), at)
+	done := start + u.cfg.LLCLatency
+
+	u.scratchWB = cache.Access{Block: block, Core: core, Write: true, Demand: false, Writeback: true}
+	if !u.llc.WritebackNoAllocate(&u.scratchWB) {
+		d, _ := u.dram.Access(done, block, true)
+		done = d
+	}
+	return done
+}
+
+// dirtyVictimToDRAM drains a dirty LLC victim through the LLC write-back
+// buffer into a DRAM bank.
+func (u *sharedSubstrate) dirtyVictimToDRAM(block uint64, now uint64) {
+	at := u.llcWB.Reserve(now)
+	done, _ := u.dram.Access(at, block, true)
+	u.llcWB.Occupy(now, done)
+}

@@ -14,31 +14,47 @@ import (
 )
 
 // System is one simulated machine running one multi-programmed workload.
+// It is split along the paper's sharing boundary: each core owns a corePath
+// (its private L1/L2 hierarchy), and all cores meet in one Substrate (the
+// arbiter, the banked LLC, DRAM and the shared pools). The split is what
+// lets the parallel engine in parallel.go run private hierarchies on real
+// threads while keeping the substrate single-threaded.
 type System struct {
 	cfg   Config
 	gens  []trace.Generator
 	cores []*cpu.Core
-
-	l1  []*cache.Cache
-	l2  []*cache.Cache
-	llc *cache.Cache
-
-	dram *mem.DDR2
-	arb  *arbiter.VPC
-
-	l2MSHR  []*cache.TimedPool
-	l2WB    []*cache.TimedPool
-	llcMSHR *cache.TimedPool
-	llcWB   *cache.TimedPool
+	paths []*corePath
+	sub   *sharedSubstrate
 
 	// maxBatch caps steps per event-loop batch; 0 = adaptive (slack-
 	// bounded). See SetMaxBatch.
 	maxBatch int
 
-	// Scratch access records, reused across calls so that the policy
-	// interface calls do not force a heap allocation per cache level per
-	// memory reference. The simulator is single-goroutine by contract.
-	scratchL1, scratchL2, scratchLLC, scratchWB cache.Access
+	// threads is the intra-simulation thread count; <=1 = the serial
+	// reference loop. See SetParallel and Config.Threads.
+	threads int
+}
+
+// corePath is one core's private memory hierarchy: its L1 and L2 caches,
+// their MSHR and write-back pools, and the reusable scratch access records
+// that keep the policy interface calls allocation-free. Exactly one
+// goroutine drives a corePath at any time (the core that owns it), so it
+// needs no synchronisation; everything cross-core goes through sub.
+type corePath struct {
+	cfg *Config
+	id  int
+
+	l1, l2 *cache.Cache
+	mshr   *cache.TimedPool // L2 MSHRs
+	wb     *cache.TimedPool // L2 write-back buffer
+
+	// sub is the substrate this core's misses drain into: the shared
+	// sharedSubstrate directly under the serial loop, or a per-core order
+	// gate during a parallel run (swapped by the engine before the
+	// goroutines start and restored after they join).
+	sub Substrate
+
+	scratchL1, scratchL2, scratchWB cache.Access
 }
 
 // New builds a system from a config and one generator per core.
@@ -57,8 +73,12 @@ func New(cfg Config, gens []trace.Generator) *System {
 	}
 
 	s := &System{
-		cfg:  cfg,
-		gens: gens,
+		cfg:     cfg,
+		gens:    gens,
+		threads: cfg.Threads,
+	}
+	s.sub = &sharedSubstrate{
+		cfg: &s.cfg,
 		llc: cache.New(cache.Config{
 			Name:       "llc",
 			Geometry:   llcGeom,
@@ -73,34 +93,38 @@ func New(cfg Config, gens []trace.Generator) *System {
 
 	for i := 0; i < cfg.Cores; i++ {
 		l1Geom := cache.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, Cores: 1}
-		s.l1 = append(s.l1, cache.New(cache.Config{
-			Name:       fmt.Sprintf("l1-%d", i),
-			Geometry:   l1Geom,
-			BlockBytes: cfg.BlockBytes,
-			HitLatency: cfg.L1Latency,
-		}, policy.NewLRU(l1Geom)))
-
 		l2Geom := cache.Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, Cores: 1}
 		l2Pol, err := policy.New(cfg.L2Policy, l2Geom, policy.Options{Seed: cfg.Seed + uint64(i)*977})
 		if err != nil {
 			panic(err)
 		}
-		s.l2 = append(s.l2, cache.New(cache.Config{
-			Name:       fmt.Sprintf("l2-%d", i),
-			Geometry:   l2Geom,
-			BlockBytes: cfg.BlockBytes,
-			HitLatency: cfg.L2Latency,
-		}, l2Pol))
-
-		s.l2MSHR = append(s.l2MSHR, cache.NewTimedPool(cfg.L2MSHRs))
-		s.l2WB = append(s.l2WB, cache.NewTimedPool(cfg.L2WBEntries))
+		p := &corePath{
+			cfg: &s.cfg,
+			id:  i,
+			l1: cache.New(cache.Config{
+				Name:       fmt.Sprintf("l1-%d", i),
+				Geometry:   l1Geom,
+				BlockBytes: cfg.BlockBytes,
+				HitLatency: cfg.L1Latency,
+			}, policy.NewLRU(l1Geom)),
+			l2: cache.New(cache.Config{
+				Name:       fmt.Sprintf("l2-%d", i),
+				Geometry:   l2Geom,
+				BlockBytes: cfg.BlockBytes,
+				HitLatency: cfg.L2Latency,
+			}, l2Pol),
+			mshr: cache.NewTimedPool(cfg.L2MSHRs),
+			wb:   cache.NewTimedPool(cfg.L2WBEntries),
+			sub:  s.sub,
+		}
+		s.paths = append(s.paths, p)
 
 		s.cores = append(s.cores, cpu.New(cpu.Config{
 			ID:             i,
 			Width:          cfg.CPUWidth,
 			ROB:            cfg.CPUROB,
 			MaxOutstanding: cfg.CPUMaxOutstanding,
-		}, gens[i], s))
+		}, gens[i], p))
 	}
 	return s
 }
@@ -130,118 +154,92 @@ func NewFromNames(cfg Config, names []string) *System {
 }
 
 // LLC exposes the shared cache (experiments inspect policy state).
-func (s *System) LLC() *cache.Cache { return s.llc }
+func (s *System) LLC() *cache.Cache { return s.sub.llc }
 
 // L2 exposes core i's private L2.
-func (s *System) L2(i int) *cache.Cache { return s.l2[i] }
+func (s *System) L2(i int) *cache.Cache { return s.paths[i].l2 }
 
 // DRAM exposes the memory model.
-func (s *System) DRAM() *mem.DDR2 { return s.dram }
+func (s *System) DRAM() *mem.DDR2 { return s.sub.dram }
 
 // Arbiter exposes the VPC arbiter.
-func (s *System) Arbiter() *arbiter.VPC { return s.arb }
+func (s *System) Arbiter() *arbiter.VPC { return s.sub.arb }
+
+// Access implements cpu.MemSystem on the whole System, preserving the
+// method set the public API (repro.System) has always exposed: one memory
+// reference for the given core through its private hierarchy and, on an L2
+// miss, the shared substrate. The simulator's own cores are wired to their
+// corePath directly and never come through here; callers driving a System
+// by hand must do so from a single goroutine.
+func (s *System) Access(core int, now uint64, addr uint64, write bool, pc uint64) uint64 {
+	return s.paths[core].Access(core, now, addr, write, pc)
+}
 
 // Access implements cpu.MemSystem: one memory reference through the
 // hierarchy. It returns the completion time of the reference.
-func (s *System) Access(core int, now uint64, addr uint64, write bool, pc uint64) uint64 {
-	return s.access(core, now, addr, write, pc, true)
+func (p *corePath) Access(_ int, now uint64, addr uint64, write bool, pc uint64) uint64 {
+	return p.access(now, addr, write, pc, true)
 }
 
-func (s *System) access(core int, now uint64, block uint64, write bool, pc uint64, demand bool) uint64 {
+// access walks the private hierarchy and, on an L2 miss, crosses into the
+// substrate. Everything it touches before p.sub is per-core state: that is
+// the independence property the parallel engine relies on, so a change that
+// makes this function read or write shared state must also teach
+// parallel.go about the new ordering point.
+func (p *corePath) access(now uint64, block uint64, write bool, pc uint64, demand bool) uint64 {
 	// L1 lookup.
-	s.scratchL1 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
-	r1 := s.l1[core].Access(&s.scratchL1)
+	p.scratchL1 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r1 := p.l1.Access(&p.scratchL1)
 	if r1.EvictedValid && r1.Evicted.Dirty {
-		s.writebackToL2(core, r1.Evicted.Block, now)
+		p.writebackToL2(r1.Evicted.Block, now)
 	}
 	if r1.Hit {
 		if write {
 			return now + 1 // store buffer absorbs the hit
 		}
-		return now + s.cfg.L1Latency
+		return now + p.cfg.L1Latency
 	}
 
 	// Next-line prefetch on demand L1 misses (Table 3's L1 prefetcher).
 	// Fire-and-forget: it perturbs cache state and bank occupancy but the
 	// demand access does not wait for it.
-	if demand && s.cfg.NextLinePrefetch {
-		s.access(core, now, block+1, false, pc, false)
+	if demand && p.cfg.NextLinePrefetch {
+		p.access(now, block+1, false, pc, false)
 	}
 
 	// L2 lookup.
-	t2 := now + s.cfg.L1Latency
-	s.scratchL2 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
-	r2 := s.l2[core].Access(&s.scratchL2)
+	t2 := now + p.cfg.L1Latency
+	p.scratchL2 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r2 := p.l2.Access(&p.scratchL2)
 	if r2.EvictedValid && r2.Evicted.Dirty {
-		s.writebackToLLC(core, r2.Evicted.Block, t2)
+		p.writebackToLLC(r2.Evicted.Block, t2)
 	}
 	if r2.Hit {
-		return t2 + s.cfg.L2Latency
+		return t2 + p.cfg.L2Latency
 	}
 
-	// L2 miss: through the MSHRs and the arbiter to an LLC bank.
-	missAt := t2 + s.cfg.L2Latency
-	t3 := s.l2MSHR[core].Reserve(missAt)
-	set := s.llc.SetOf(block)
-	start := s.arb.Schedule(core, s.arb.BankOf(set), t3)
-	t4 := start + s.cfg.LLCLatency
-
-	if demand && s.cfg.LLCAccessHook != nil {
-		s.cfg.LLCAccessHook(core, set, block)
-	}
-	s.scratchLLC = cache.Access{Block: block, Core: core, PC: pc, Write: write, Demand: demand}
-	rl := s.llc.Access(&s.scratchLLC)
-
-	var data uint64
-	if rl.Hit {
-		data = t4
-	} else {
-		// DRAM read (whether the LLC allocated or bypassed).
-		dramAt := s.llcMSHR.Reserve(t4)
-		done, _ := s.dram.Access(dramAt, block, false)
-		s.llcMSHR.Occupy(t4, done)
-		data = done
-		if rl.EvictedValid && rl.Evicted.Dirty {
-			s.dirtyLLCVictimToDRAM(rl.Evicted.Block, t4)
-		}
-	}
-	s.l2MSHR[core].Occupy(missAt, data)
+	// L2 miss: through the private MSHRs, then across the sharing boundary.
+	missAt := t2 + p.cfg.L2Latency
+	t3 := p.mshr.Reserve(missAt)
+	data := p.sub.Fetch(p.id, block, pc, write, demand, t3)
+	p.mshr.Occupy(missAt, data)
 	return data
 }
 
 // writebackToL2 handles a dirty L1 victim: state-only write into the L2
 // (the L1-L2 interconnect is not a bottleneck in this study).
-func (s *System) writebackToL2(core int, block uint64, now uint64) {
-	s.scratchWB = cache.Access{Block: block, Core: 0, Write: true, Demand: false, Writeback: true}
-	r := s.l2[core].Access(&s.scratchWB)
+func (p *corePath) writebackToL2(block uint64, now uint64) {
+	p.scratchWB = cache.Access{Block: block, Core: 0, Write: true, Demand: false, Writeback: true}
+	r := p.l2.Access(&p.scratchWB)
 	if r.EvictedValid && r.Evicted.Dirty {
-		s.writebackToLLC(core, r.Evicted.Block, now)
+		p.writebackToLLC(r.Evicted.Block, now)
 	}
 }
 
-// writebackToLLC handles a dirty L2 victim: it occupies an L2 write-back
-// buffer entry and an LLC bank slot; a resident LLC copy absorbs the write,
-// otherwise the victim writes through to DRAM. No allocation on a miss —
-// filling the LLC with blocks the L2 just evicted would churn the cache
-// and, under high-turnover policies, roughly double DRAM write traffic.
-func (s *System) writebackToLLC(core int, block uint64, now uint64) {
-	at := s.l2WB[core].Reserve(now)
-	set := s.llc.SetOf(block)
-	start := s.arb.Schedule(core, s.arb.BankOf(set), at)
-	done := start + s.cfg.LLCLatency
-
-	s.scratchWB = cache.Access{Block: block, Core: core, Write: true, Demand: false, Writeback: true}
-	if !s.llc.WritebackNoAllocate(&s.scratchWB) {
-		d, _ := s.dram.Access(done, block, true)
-		done = d
-	}
-	s.l2WB[core].Occupy(now, done)
-}
-
-// dirtyLLCVictimToDRAM drains a dirty LLC victim through the LLC write-back
-// buffer into a DRAM bank.
-func (s *System) dirtyLLCVictimToDRAM(block uint64, now uint64) {
-	at := s.llcWB.Reserve(now)
-	done, _ := s.dram.Access(at, block, true)
-	s.llcWB.Occupy(now, done)
+// writebackToLLC handles a dirty L2 victim: it occupies a private L2
+// write-back buffer entry, then drains across the sharing boundary.
+func (p *corePath) writebackToLLC(block uint64, now uint64) {
+	at := p.wb.Reserve(now)
+	done := p.sub.Writeback(p.id, block, at)
+	p.wb.Occupy(now, done)
 }

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// BurstParams describes a two-state markov-modulated gap process. The
+// stream alternates between a calm phase (long gaps, low memory intensity)
+// and a burst phase (short gaps, high intensity); phase dwell times are
+// geometric, so inter-access gaps are *correlated* — a short gap predicts
+// more short gaps — unlike the i.i.d.-jittered gapper every base generator
+// uses. Means, not just marginals, are controlled: the long-run memory
+// ratio is the dwell-weighted mix of the two phase ratios.
+//
+// The point of the family (ROADMAP "trace realism") is distribution shape:
+// mean arbiter waits are insensitive to burstiness, but wait *tails* are
+// not, so comparing LFOC+-style fairness accounting needs streams whose
+// index of dispersion is controllably above the ~1 of the plain gapper.
+type BurstParams struct {
+	// CalmMemRatio / BurstMemRatio are the per-phase fractions of
+	// instructions that are memory accesses, each in (0,1] with
+	// BurstMemRatio >= CalmMemRatio.
+	CalmMemRatio, BurstMemRatio float64
+	// CalmOps / BurstOps are the expected number of memory references per
+	// dwell in each phase (geometric dwell lengths; both >= 1).
+	CalmOps, BurstOps float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p BurstParams) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"CalmMemRatio", p.CalmMemRatio}, {"BurstMemRatio", p.BurstMemRatio}} {
+		if r.v <= 0 || r.v > 1 {
+			return fmt.Errorf("trace: %s must be in (0,1], got %v", r.name, r.v)
+		}
+	}
+	if p.BurstMemRatio < p.CalmMemRatio {
+		return fmt.Errorf("trace: BurstMemRatio (%v) below CalmMemRatio (%v)", p.BurstMemRatio, p.CalmMemRatio)
+	}
+	if p.CalmOps < 1 || p.BurstOps < 1 {
+		return fmt.Errorf("trace: phase dwells must be >= 1 op, got calm=%v burst=%v", p.CalmOps, p.BurstOps)
+	}
+	return nil
+}
+
+// MeanMemRatio returns the long-run fraction of instructions that are
+// memory accesses: per-op gap means weighted by expected ops per dwell.
+func (p BurstParams) MeanMemRatio() float64 {
+	calmGap := (1 - p.CalmMemRatio) / p.CalmMemRatio
+	burstGap := (1 - p.BurstMemRatio) / p.BurstMemRatio
+	meanGap := (p.CalmOps*calmGap + p.BurstOps*burstGap) / (p.CalmOps + p.BurstOps)
+	return 1 / (1 + meanGap)
+}
+
+// MarkovBurst wraps any Generator, keeping its address/PC/write stream but
+// replacing its gap process with the markov-modulated one, so every access
+// pattern family gains a correlated-burst variant without re-deriving its
+// footprint model.
+type MarkovBurst struct {
+	inner Generator
+	p     BurstParams
+	seed  uint64
+
+	burst bool
+	acc   float64
+	src   *rng.Source
+}
+
+// NewMarkovBurst builds a correlated-burst wrapper around inner.
+func NewMarkovBurst(inner Generator, p BurstParams, seed uint64) *MarkovBurst {
+	if inner == nil {
+		panic("trace: MarkovBurst needs an inner generator")
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &MarkovBurst{
+		inner: inner,
+		p:     p,
+		seed:  seed,
+		src:   rng.New(seed ^ 0x1F83D9ABFB41BD6B),
+	}
+}
+
+// Next implements Generator: the inner generator decides what is accessed,
+// the modulated gap process decides when.
+func (g *MarkovBurst) Next(op *Op) {
+	g.inner.Next(op)
+
+	// Phase transition first: geometric dwells with mean CalmOps/BurstOps
+	// references. Sampling before the gap draw keeps a freshly-entered
+	// phase's first gap already in-phase.
+	if g.burst {
+		if g.src.Float64() < 1/g.p.BurstOps {
+			g.burst = false
+		}
+	} else if g.src.Float64() < 1/g.p.CalmOps {
+		g.burst = true
+	}
+
+	ratio := g.p.CalmMemRatio
+	if g.burst {
+		ratio = g.p.BurstMemRatio
+	}
+	// Same fractional-accumulator discretisation as gapper.next: the
+	// long-run mean gap inside each phase is exact, and the jitter keeps
+	// phases from being metronomic internally.
+	target := (1 - ratio) / ratio * (0.5 + g.src.Float64())
+	g.acc += target
+	gap := math.Floor(g.acc)
+	g.acc -= gap
+	if gap < 0 {
+		gap = 0
+	}
+	if gap > math.MaxUint32 {
+		gap = math.MaxUint32
+	}
+	op.Gap = uint32(gap)
+}
+
+// Reset implements Generator.
+func (g *MarkovBurst) Reset() {
+	g.inner.Reset()
+	g.burst = false
+	g.acc = 0
+	g.src = rng.New(g.seed ^ 0x1F83D9ABFB41BD6B)
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func burstParams() BurstParams {
+	return BurstParams{
+		CalmMemRatio:  0.1, // mean gap 9 between accesses
+		BurstMemRatio: 0.8, // mean gap 0.25
+		CalmOps:       200,
+		BurstOps:      100,
+	}
+}
+
+func testInner(seed uint64) Generator {
+	return NewWorkingSet(Params{MemRatio: 0.3, WriteRatio: 0.2, Seed: seed}, 512, 0.1, 0.6)
+}
+
+// dispersion samples n ops and returns (measured mem ratio, index of
+// dispersion of per-window access counts): accesses are binned into
+// fixed-length instruction windows and the variance/mean ratio of the
+// counts is the standard burstiness statistic — 1 for a Poisson-like
+// stream, well above 1 for correlated bursts.
+func dispersion(g Generator, n int, window uint64) (memRatio, iod float64) {
+	var op Op
+	var instr uint64
+	counts := []uint64{0}
+	edge := window
+	for i := 0; i < n; i++ {
+		g.Next(&op)
+		instr += op.Instructions()
+		for instr >= edge {
+			counts = append(counts, 0)
+			edge += window
+		}
+		counts[len(counts)-1]++
+	}
+	counts = counts[:len(counts)-1] // drop the ragged tail window
+	var sum, sumSq float64
+	for _, c := range counts {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / float64(len(counts))
+	variance := sumSq/float64(len(counts)) - mean*mean
+	return float64(n) / float64(instr), variance / mean
+}
+
+// TestMarkovBurstShape is the distribution-shape contract of the family:
+// the modulated stream must keep the configured long-run memory intensity
+// (means comparable) while being strongly over-dispersed relative to the
+// i.i.d.-jittered base gapper (distributions not comparable) — that
+// separation is what makes arbiter-wait *distributions* a meaningful axis.
+func TestMarkovBurstShape(t *testing.T) {
+	const n = 400_000
+	const window = 2_000
+
+	p := burstParams()
+	g := NewMarkovBurst(testInner(7), p, 7)
+	gotRatio, gotIoD := dispersion(g, n, window)
+
+	wantRatio := p.MeanMemRatio()
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.05 {
+		t.Errorf("long-run mem ratio %0.4f, want %0.4f +-5%%", gotRatio, wantRatio)
+	}
+
+	// The plain generator with the same marginal intensity is the null
+	// hypothesis: its window counts are near-Poisson.
+	plain := NewWorkingSet(Params{MemRatio: wantRatio, WriteRatio: 0.2, Seed: 7}, 512, 0.1, 0.6)
+	_, plainIoD := dispersion(plain, n, window)
+
+	if plainIoD > 2 {
+		t.Fatalf("base gapper is already over-dispersed (IoD %0.2f); the null hypothesis is broken", plainIoD)
+	}
+	if gotIoD < 3*plainIoD {
+		t.Errorf("markov-modulated IoD %0.2f not clearly above base %0.2f; bursts are not correlated enough to separate wait distributions", gotIoD, plainIoD)
+	}
+}
+
+// TestMarkovBurstDeterminismAndReset: same seed, same stream; Reset
+// restores the initial state bit-for-bit (the simulator re-executes
+// finished applications from the beginning).
+func TestMarkovBurstDeterminismAndReset(t *testing.T) {
+	mk := func() *MarkovBurst { return NewMarkovBurst(testInner(11), burstParams(), 11) }
+	a, b := mk(), mk()
+	var opA, opB Op
+	for i := 0; i < 10_000; i++ {
+		a.Next(&opA)
+		b.Next(&opB)
+		if opA != opB {
+			t.Fatalf("op %d diverged across identical seeds: %+v vs %+v", i, opA, opB)
+		}
+	}
+	first := make([]Op, 1_000)
+	c := mk()
+	for i := range first {
+		c.Next(&first[i])
+	}
+	c.Reset()
+	for i := range first {
+		var op Op
+		c.Next(&op)
+		if op != first[i] {
+			t.Fatalf("op %d differs after Reset: %+v vs %+v", i, op, first[i])
+		}
+	}
+}
+
+// TestMarkovBurstPreservesAddresses: the wrapper must only modulate time —
+// the inner generator's address/PC/write decisions pass through untouched.
+func TestMarkovBurstPreservesAddresses(t *testing.T) {
+	inner, ref := testInner(3), testInner(3)
+	g := NewMarkovBurst(inner, burstParams(), 99)
+	var got, want Op
+	for i := 0; i < 5_000; i++ {
+		g.Next(&got)
+		ref.Next(&want)
+		if got.Addr != want.Addr || got.PC != want.PC || got.Write != want.Write {
+			t.Fatalf("op %d: wrapper changed the access stream: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// TestBurstParamsValidate pins the constructor contract.
+func TestBurstParamsValidate(t *testing.T) {
+	bad := []BurstParams{
+		{CalmMemRatio: 0, BurstMemRatio: 0.5, CalmOps: 10, BurstOps: 10},
+		{CalmMemRatio: 0.5, BurstMemRatio: 1.5, CalmOps: 10, BurstOps: 10},
+		{CalmMemRatio: 0.6, BurstMemRatio: 0.5, CalmOps: 10, BurstOps: 10},
+		{CalmMemRatio: 0.1, BurstMemRatio: 0.5, CalmOps: 0, BurstOps: 10},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %d should not validate: %+v", i, p)
+		}
+	}
+	if err := burstParams().Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+}
