@@ -17,9 +17,14 @@ test-race:
 	$(GO) test -short -race ./...
 
 # Full (not -short) race pass over the packages where real threads share a
-# simulation: the parallel engine, and the scheduler's weighted pool.
+# simulation: the parallel engine (including the helper-drained substrate
+# gate and the per-bank DRAM shards), and the scheduler's weighted pool.
+# The second run re-executes the streaming-heavy gate tests a few times:
+# helper-draining only fires when cores actually park, so more schedules
+# mean more park/help/wake handoffs under the race detector.
 test-race-sim:
 	$(GO) test -race -count=1 ./internal/sim/... ./internal/schedule/...
+	$(GO) test -race -count=3 -run 'TestParallelHelperDrainStreaming|TestParallelInvariance' ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -38,16 +43,19 @@ bench:
 
 # CI smoke: regenerate a representative figure/table set at Tiny fidelity
 # through the shared scheduler and emit the structured artifact CI uploads
-# as the perf trajectory (BENCH_*.json), plus a one-shot policy-layer
-# benchmark (-benchtime 1x: a smoke that the benches run, not a timing
-# claim) whose output rides along as BENCH_policy_victim.txt.
+# as the perf trajectory (BENCH_*.json), plus one-shot benchmarks
+# (-benchtime 1x: a smoke that the benches run, not a timing claim):
+# BENCH_policy_victim.txt for the policy layer, and BENCH_sim_substrate.txt
+# for the substrate — the Mix16 and streaming Mix16 parallel runs whose
+# Parallel{4,8}-vs-Parallel1 deltas track the helper-drained, per-bank-
+# sharded substrate across commits.
 bench-smoke: build
 	$(GO) run ./cmd/paperfig -fig 1 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig1.json
 	$(GO) run ./cmd/paperfig -fig 6 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig6.json
 	$(GO) test -bench 'Victim|FillChurn' -benchtime 1x -run '^$$' ./internal/policy > BENCH_policy_victim.txt || { cat BENCH_policy_victim.txt; exit 1; }
 	cat BENCH_policy_victim.txt
-	$(GO) test -bench 'RunMix16' -benchtime 1x -run '^$$' ./internal/sim > BENCH_sim_parallel.txt || { cat BENCH_sim_parallel.txt; exit 1; }
-	cat BENCH_sim_parallel.txt
+	$(GO) test -bench 'RunMix16' -benchtime 1x -run '^$$' ./internal/sim > BENCH_sim_substrate.txt || { cat BENCH_sim_substrate.txt; exit 1; }
+	cat BENCH_sim_substrate.txt
 
 # Quick-fidelity regeneration of everything (minutes).
 paperfig:

@@ -151,7 +151,7 @@ func main() {
 		r := experiments.Fig3(opt)
 		if *all || *fig == 3 {
 			emit(r.Table("Figure 3 — 16-core workloads"))
-			emit(r.SubstrateTable())
+			emit(r.SubstrateTables()...)
 		}
 		if *all || *fig == 4 || *fig == 5 {
 			f4, f5 := r.Fig45Tables()

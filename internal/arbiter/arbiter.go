@@ -20,9 +20,56 @@ package arbiter
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/timeline"
 )
+
+// WaitBuckets is the fixed bucket count of the arbiter-wait histogram.
+// Bucket 0 counts zero-wait grants, bucket k (1..WaitBuckets-2) counts
+// waits in [2^(k-1), 2^k) cycles, and the last bucket is the open tail
+// (>= 2^(WaitBuckets-2)). Power-of-two edges keep the histogram fixed-size
+// and config-independent, which is what lets AppResult carry it as a value
+// and the fingerprint/golden machinery pin it bit-for-bit; the tail is what
+// LFOC+-style fairness accounting compares, and means are recoverable from
+// the existing WaitCycles counters.
+const WaitBuckets = 16
+
+// WaitHist is one requester's wait distribution over the fixed buckets.
+type WaitHist [WaitBuckets]uint64
+
+// Total returns the number of requests counted.
+func (h WaitHist) Total() uint64 {
+	var n uint64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// WaitBucket maps a queueing delay to its histogram bucket.
+func WaitBucket(wait uint64) int {
+	if wait == 0 {
+		return 0
+	}
+	b := bits.Len64(wait) // wait in [2^(b-1), 2^b)
+	if b > WaitBuckets-1 {
+		b = WaitBuckets - 1
+	}
+	return b
+}
+
+// BucketLabel renders bucket k's cycle range for table headers/rows.
+func BucketLabel(k int) string {
+	switch {
+	case k <= 0:
+		return "0"
+	case k >= WaitBuckets-1:
+		return fmt.Sprintf("%d+", uint64(1)<<(WaitBuckets-2))
+	default:
+		return fmt.Sprintf("%d-%d", uint64(1)<<(k-1), (uint64(1)<<k)-1)
+	}
+}
 
 // Config describes the arbiter and bank organisation.
 type Config struct {
@@ -57,6 +104,7 @@ type VPC struct {
 	// Per-core stats.
 	requests   []uint64
 	waitCycles []uint64
+	waitHist   []WaitHist
 }
 
 // New builds an arbiter, panicking on invalid configuration.
@@ -69,6 +117,7 @@ func New(cfg Config) *VPC {
 		banks:      make([]timeline.Timeline, cfg.Banks),
 		requests:   make([]uint64, cfg.Cores),
 		waitCycles: make([]uint64, cfg.Cores),
+		waitHist:   make([]WaitHist, cfg.Cores),
 	}
 }
 
@@ -90,6 +139,7 @@ func (v *VPC) Schedule(core, bank int, now uint64) (start uint64) {
 	if start > now {
 		v.waitCycles[core] += start - now
 	}
+	v.waitHist[core][WaitBucket(start-now)]++
 	v.requests[core]++
 	return start
 }
@@ -108,10 +158,15 @@ func (v *VPC) MeanWait(core int) float64 {
 	return float64(v.waitCycles[core]) / float64(v.requests[core])
 }
 
+// WaitHistOf returns core's wait distribution over the fixed buckets — the
+// per-app contention record behind AppResult.ArbiterWaitHist.
+func (v *VPC) WaitHistOf(core int) WaitHist { return v.waitHist[core] }
+
 // ResetStats clears per-core counters but keeps bank occupancy.
 func (v *VPC) ResetStats() {
 	for i := range v.requests {
 		v.requests[i] = 0
 		v.waitCycles[i] = 0
+		v.waitHist[i] = WaitHist{}
 	}
 }

@@ -127,6 +127,59 @@ func TestWaitAccountingNeverDoubleCounts(t *testing.T) {
 	}
 }
 
+func TestWaitBucketEdges(t *testing.T) {
+	cases := []struct {
+		wait uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 13, 14}, {(1 << 14) - 1, 14}, {1 << 14, 15}, {1 << 40, 15},
+	}
+	for _, c := range cases {
+		if got := WaitBucket(c.wait); got != c.want {
+			t.Errorf("WaitBucket(%d) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+	if BucketLabel(0) != "0" || BucketLabel(1) != "1-1" || BucketLabel(3) != "4-7" {
+		t.Fatalf("bucket labels wrong: %q %q %q", BucketLabel(0), BucketLabel(1), BucketLabel(3))
+	}
+	if BucketLabel(WaitBuckets-1) != "16384+" {
+		t.Fatalf("tail label = %q", BucketLabel(WaitBuckets-1))
+	}
+}
+
+// TestWaitHistMatchesWaitAccounting cross-checks the histogram against the
+// scalar counters on an out-of-order arrival mix: totals equal request
+// counts, bucket 0 counts exactly the zero-wait grants, and the bucketed
+// mass reproduces each observed wait.
+func TestWaitHistMatchesWaitAccounting(t *testing.T) {
+	v := New(Default(2))
+	var want [2]WaitHist
+	arrivals := []struct {
+		core int
+		now  uint64
+	}{
+		{0, 40}, {1, 0}, {0, 1}, {1, 41}, {0, 2}, {1, 100}, {0, 99}, {1, 99},
+	}
+	for _, a := range arrivals {
+		start := v.Schedule(a.core, 0, a.now)
+		want[a.core][WaitBucket(start-a.now)]++
+	}
+	for core := 0; core < 2; core++ {
+		h := v.WaitHistOf(core)
+		if h != want[core] {
+			t.Fatalf("core %d hist %v, want %v", core, h, want[core])
+		}
+		if h.Total() != v.Requests(core) {
+			t.Fatalf("core %d hist total %d != requests %d", core, h.Total(), v.Requests(core))
+		}
+	}
+	v.ResetStats()
+	if v.WaitHistOf(0) != (WaitHist{}) {
+		t.Fatal("ResetStats left histogram mass")
+	}
+}
+
 func TestMeanWaitAndReset(t *testing.T) {
 	v := New(Default(2))
 	v.Schedule(0, 0, 0)

@@ -19,6 +19,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -126,6 +127,11 @@ type Spec struct {
 	PaperClass Class
 	// WriteRatio is the store fraction of the access stream.
 	WriteRatio float64
+	// Bursty selects the correlated-burst variant: the same address/PC/
+	// write stream, with the i.i.d.-jittered gap process replaced by a
+	// two-state markov-modulated one (trace.MarkovBurst) of identical
+	// long-run intensity. See Burst / the "+burst" name suffix.
+	Bursty bool
 }
 
 // Class returns the paper's Table 4 classification.
@@ -151,30 +157,35 @@ func (s Spec) Generator(g Geometry, base uint64, seed uint64) trace.Generator {
 	if ws < 64 {
 		ws = 64
 	}
+	// Burst variants hash the base model's name so the inner generator —
+	// addresses, PCs, writes — is bit-identical to the plain model's; only
+	// the gap process differs.
+	nameHash := hashName(strings.TrimSuffix(s.Name, BurstSuffix))
 	p := trace.Params{
 		Base:       base,
 		MemRatio:   s.memRatio(),
 		WriteRatio: s.WriteRatio,
-		PCBase:     0x400000 + uint64(hashName(s.Name))<<8,
-		Seed:       seed ^ uint64(hashName(s.Name)),
+		PCBase:     0x400000 + uint64(nameHash)<<8,
+		Seed:       seed ^ uint64(nameHash),
 	}
 	hot := uint64(g.L2Blocks / 4)
 	if hot < 16 {
 		hot = 16
 	}
+	var inner trace.Generator
 	switch s.Family {
 	case FamCyclic:
 		// Stride 3: cyclic-reuse codes are not block-sequential, and the
 		// stride keeps the L1 next-line prefetcher from (unrealistically)
 		// hiding half of a synthetic sweep.
-		return trace.NewCyclicStride(p, ws, 3)
+		inner = trace.NewCyclicStride(p, ws, 3)
 	case FamStream:
 		// Streams never reuse: region far larger than any cache.
 		region := uint64(64 * g.LLCSets)
 		if region < ws {
 			region = ws
 		}
-		return trace.NewStream(p, region)
+		inner = trace.NewStream(p, region)
 	case FamMixedScan:
 		if hot > ws/2 {
 			hot = ws / 2
@@ -188,16 +199,73 @@ func (s Spec) Generator(g Geometry, base uint64, seed uint64) trace.Generator {
 		}
 		const scanLen = 16
 		k := s.mixedHotRefs(scanLen)
-		return trace.NewMixedScan(p, hot, k, scanLen, scanRegion)
+		inner = trace.NewMixedScan(p, hot, k, scanLen, scanRegion)
 	case FamZipf:
-		return trace.NewZipf(p, ws)
+		inner = trace.NewZipf(p, ws)
 	default: // FamWorkingSet
 		hotFrac := float64(hot) / float64(ws)
 		if hotFrac > 0.5 {
 			hotFrac = 0.5
 		}
-		return trace.NewWorkingSet(p, ws, hotFrac, s.hotProb())
+		inner = trace.NewWorkingSet(p, ws, hotFrac, s.hotProb())
 	}
+	if s.Bursty {
+		return trace.NewMarkovBurst(inner, s.BurstParams(), p.Seed^burstSeedSalt)
+	}
+	return inner
+}
+
+// BurstSuffix is the benchmark-name suffix selecting a model's
+// correlated-burst variant in ByName/MustByName: "libq+burst" is libq's
+// address stream under the markov-modulated gap process.
+const BurstSuffix = "+burst"
+
+// burstSeedSalt decorrelates the burst phase process from the inner
+// generator's own sampling.
+const burstSeedSalt = 0xB17B00B5
+
+// Burst phase shape: the burst phase runs at four times the model's mean
+// intensity (capped) for a geometric mean of burstOps references, and the
+// calm phase absorbs the difference over calmOps references so the
+// long-run intensity — and with it the model's Table 4/5 classification —
+// is exactly preserved.
+const (
+	burstRatioGain = 4.0
+	burstRatioCap  = 0.8
+	burstPhaseOps  = 16.0
+	calmPhaseOps   = 48.0
+)
+
+// BurstParams derives the two-state gap process of the spec's burst
+// variant: BurstMemRatio = min(burstRatioGain x mean, burstRatioCap), with
+// CalmMemRatio solved so BurstParams.MeanMemRatio equals the plain model's
+// memory-instruction ratio exactly. Intensity-preserving by construction:
+// only the gap *correlation* changes, which is the point — arbiter-wait
+// histograms can then be compared across calm/burst mixes with everything
+// else held fixed.
+func (s Spec) BurstParams() trace.BurstParams {
+	r := s.memRatio()
+	rb := clamp(burstRatioGain*r, r, burstRatioCap)
+	meanGap := (1 - r) / r
+	burstGap := (1 - rb) / rb
+	calmGap := ((calmPhaseOps+burstPhaseOps)*meanGap - burstPhaseOps*burstGap) / calmPhaseOps
+	return trace.BurstParams{
+		CalmMemRatio:  1 / (1 + calmGap),
+		BurstMemRatio: rb,
+		CalmOps:       calmPhaseOps,
+		BurstOps:      burstPhaseOps,
+	}
+}
+
+// Burst returns the spec's correlated-burst variant, named with
+// BurstSuffix. Footprint, write ratio and classification are unchanged.
+func (s Spec) Burst() Spec {
+	if s.Bursty {
+		return s
+	}
+	s.Name += BurstSuffix
+	s.Bursty = true
+	return s
 }
 
 // baseMemRatio is the memory-instruction fraction of reuse-heavy families,

@@ -201,3 +201,106 @@ func TestGeneratorsDistinctAcrossSeeds(t *testing.T) {
 		t.Fatal("different seeds produced identical mcf streams")
 	}
 }
+
+// TestBurstVariantResolvesByName pins the "+burst" registry surface: the
+// suffix resolves every Table 4 model to its correlated-burst variant with
+// footprint, intensity and classification untouched, and unknown bases
+// still fail.
+func TestBurstVariantResolvesByName(t *testing.T) {
+	for _, base := range All() {
+		b, ok := ByName(base.Name + BurstSuffix)
+		if !ok {
+			t.Fatalf("%s%s did not resolve", base.Name, BurstSuffix)
+		}
+		if !b.Bursty || b.Name != base.Name+BurstSuffix {
+			t.Fatalf("%s burst variant malformed: %+v", base.Name, b)
+		}
+		if b.Fpn != base.Fpn || b.L2MPKI != base.L2MPKI || b.Class() != base.Class() ||
+			b.Thrashing() != base.Thrashing() {
+			t.Fatalf("%s burst variant changed the model: %+v vs %+v", base.Name, b, base)
+		}
+	}
+	if _, ok := ByName("nonexistent" + BurstSuffix); ok {
+		t.Fatal("burst variant of an unknown base resolved")
+	}
+	if _, ok := ByName("libq" + BurstSuffix + BurstSuffix); ok {
+		t.Fatal("stacked burst suffix resolved instead of failing")
+	}
+}
+
+// TestBurstParamsPreserveIntensity is the satellite's core invariant: the
+// derived two-state gap process has exactly the plain model's long-run
+// memory-instruction ratio (so Table 4/5 classification is untouched) while
+// running a genuinely hotter burst phase.
+func TestBurstParamsPreserveIntensity(t *testing.T) {
+	for _, base := range All() {
+		p := base.BurstParams()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid burst params %+v: %v", base.Name, p, err)
+		}
+		want := base.memRatio()
+		if got := p.MeanMemRatio(); got < want*(1-1e-9) || got > want*(1+1e-9) {
+			t.Fatalf("%s: burst MeanMemRatio %.9f != plain mem ratio %.9f", base.Name, got, want)
+		}
+		if p.BurstMemRatio <= p.CalmMemRatio {
+			t.Fatalf("%s: burst phase (%v) not hotter than calm (%v)",
+				base.Name, p.BurstMemRatio, p.CalmMemRatio)
+		}
+	}
+}
+
+// TestBurstGeneratorOverdispersesGaps checks the variant actually changes
+// the distribution *shape*: same address stream, same long-run gap mean
+// (within sampling noise), but window counts far more dispersed than the
+// plain model's — the property arbiter-wait tail comparisons need.
+func TestBurstGeneratorOverdispersesGaps(t *testing.T) {
+	g := testGeometry()
+	base := MustByName("libq")
+	plain := base.Generator(g, 1<<40, 7)
+	burst := base.Burst().Generator(g, 1<<40, 7)
+
+	const n = 200_000
+	window := uint64(2048) // instructions per counting window
+	count := func(gen trace.Generator) (mean float64, dispersion float64, addrs []uint64) {
+		var op trace.Op
+		var instr, inWindow uint64
+		var counts []float64
+		for i := 0; i < n; i++ {
+			gen.Next(&op)
+			if i < 50 {
+				addrs = append(addrs, op.Addr)
+			}
+			instr += uint64(op.Gap) + 1
+			inWindow++
+			for instr >= window {
+				instr -= window
+				counts = append(counts, float64(inWindow))
+				inWindow = 0
+			}
+		}
+		var sum, sumSq float64
+		for _, c := range counts {
+			sum += c
+		}
+		mean = sum / float64(len(counts))
+		for _, c := range counts {
+			sumSq += (c - mean) * (c - mean)
+		}
+		dispersion = sumSq / float64(len(counts)) / mean // index of dispersion
+		return mean, dispersion, addrs
+	}
+	pMean, pDisp, pAddrs := count(plain)
+	bMean, bDisp, bAddrs := count(burst)
+
+	for i := range pAddrs {
+		if pAddrs[i] != bAddrs[i] {
+			t.Fatalf("burst variant changed the address stream at op %d", i)
+		}
+	}
+	if bMean < pMean*0.8 || bMean > pMean*1.25 {
+		t.Fatalf("burst variant drifted the access rate: %.1f vs %.1f per window", bMean, pMean)
+	}
+	if bDisp < 2*pDisp {
+		t.Fatalf("burst dispersion %.2f not materially above plain %.2f", bDisp, pDisp)
+	}
+}

@@ -1,6 +1,9 @@
 package bench
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // Table 4 of the paper: every benchmark with its measured Footprint-number
 // (all-sets column) and L2-MPKI when run alone on a 16MB 16-way cache. The
@@ -85,8 +88,23 @@ func Names() []string {
 	return out
 }
 
-// ByName returns the named spec.
+// ByName returns the named spec. A BurstSuffix ("libq+burst") resolves to
+// the base model's correlated-burst variant; the 38 Table 4 rows stay the
+// registry of record. The base must be a plain Table 4 name, so a stacked
+// suffix ("libq+burst+burst") fails instead of silently resolving to a
+// differently-named spec.
 func ByName(name string) (Spec, bool) {
+	if base, ok := strings.CutSuffix(name, BurstSuffix); ok {
+		if s, ok := byPlainName(base); ok {
+			return s.Burst(), true
+		}
+		return Spec{}, false
+	}
+	return byPlainName(name)
+}
+
+// byPlainName looks a name up in the Table 4 registry only.
+func byPlainName(name string) (Spec, bool) {
 	for _, s := range specs {
 		if s.Name == name {
 			return s, true

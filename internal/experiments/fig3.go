@@ -81,17 +81,36 @@ func (f Fig3Result) Table(title string) Table {
 	return t
 }
 
-// SubstrateTable renders the arbiter-wait diagnostic for the 16-core study:
-// the per-app mean VPC queueing delay under the baseline and every compared
-// policy, from AppResult.ArbiterMeanWait.
-func (f Fig3Result) SubstrateTable() Table {
+// substrateKeys lists the baseline plus every compared policy present in
+// the runs — the column set of the substrate-fidelity tables.
+func (f Fig3Result) substrateKeys() []string {
 	keys := []string{Baseline.Key}
 	for _, p := range ComparisonSpecs() {
 		if _, ok := f.Runs.ByPolicy[p.Key]; ok {
 			keys = append(keys, p.Key)
 		}
 	}
-	return f.Runs.ArbiterWaitTable("Substrate — per-app mean arbiter wait (16-core)", keys)
+	return keys
+}
+
+// SubstrateTable renders the arbiter-wait diagnostic for the 16-core study:
+// the per-app mean VPC queueing delay under the baseline and every compared
+// policy, from AppResult.ArbiterMeanWait.
+func (f Fig3Result) SubstrateTable() Table {
+	return f.Runs.ArbiterWaitTable("Substrate — per-app mean arbiter wait (16-core)", f.substrateKeys())
+}
+
+// SubstrateTables renders the full substrate-fidelity record of the
+// 16-core study: the per-app mean waits, the arbiter-wait distribution
+// over the fixed buckets, and the per-bank row-buffer locality from the
+// reservation-timeline row state. paperfig emits all three with -fig 3.
+func (f Fig3Result) SubstrateTables() []Table {
+	keys := f.substrateKeys()
+	return []Table{
+		f.SubstrateTable(),
+		f.Runs.WaitHistTable("Substrate — arbiter-wait histogram (16-core)", keys),
+		f.Runs.RowStateTable("Substrate — DRAM row-hit rate by bank (16-core)", keys),
+	}
 }
 
 // Fig45Tables renders Figures 4 (thrashing applications) and 5 (non-

@@ -10,13 +10,25 @@
 //
 // Requests reach a DRAM bank with timestamps that are not globally
 // monotonic (demand fills and write-backs from different cores carry
-// computed future times), so each bank's occupancy is a busy-interval
-// reservation timeline (internal/timeline) rather than a single busy-until
-// mark: a request is served in the earliest gap at or after its own arrival
-// and its queueing delay never includes bank time reserved by
-// logically-later requests. Row-buffer state is still updated in
-// presentation order — an accepted approximation, since the row buffer is a
-// prediction structure, not a timing invariant.
+// computed future times), so each bank's state is timeline-native:
+//
+//   - Occupancy is a busy-interval reservation timeline (internal/timeline)
+//     rather than a single busy-until mark: a request is served in the
+//     earliest gap at or after its own arrival and its queueing delay never
+//     includes bank time reserved by logically-later requests.
+//   - The open row is an annotation track on the same timeline
+//     (timeline.Track): each access leaves its row open from its service
+//     start, and a request's row hit/miss is decided by the row open at its
+//     *reserved service time* — not by whichever request happened to be
+//     presented last. A future-timestamped access therefore cannot donate a
+//     row hit to a logically-earlier one, and row-hit rates are a measured
+//     property of the reservation timeline, not of presentation order.
+//
+// All bank state — timeline, row track, counters — is per bank and
+// self-contained, so Access calls that target *different* banks may run
+// concurrently; calls for the same bank must be serialized by the caller
+// (the simulator's substrate shards do exactly that). Stats/BankStats/
+// ResetStats must not run concurrently with any Access.
 package mem
 
 import (
@@ -74,7 +86,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats aggregates access counters.
+// Stats aggregates access counters across all banks.
 type Stats struct {
 	Accesses     uint64
 	RowHits      uint64
@@ -88,23 +100,49 @@ type Stats struct {
 func (s *Stats) Reset() { *s = Stats{} }
 
 // RowHitRate returns the fraction of accesses that hit an open row.
-func (s *Stats) RowHitRate() float64 {
+func (s Stats) RowHitRate() float64 {
 	if s.Accesses == 0 {
 		return 0
 	}
 	return float64(s.RowHits) / float64(s.Accesses)
 }
 
-// DDR2 is the memory timing model. Not safe for concurrent use; a simulated
-// system is single-goroutine by design.
+// BankStats counts one bank's traffic — the per-bank row-locality record
+// behind Result.DRAMBanks and the Fig. 3 row-state tables.
+type BankStats struct {
+	Accesses     uint64
+	RowHits      uint64
+	RowConflicts uint64
+	Reads        uint64
+	Writes       uint64
+	QueueCycles  uint64
+}
+
+// RowHitRate returns the fraction of this bank's accesses that hit an open
+// row.
+func (b BankStats) RowHitRate() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.RowHits) / float64(b.Accesses)
+}
+
+// bankState is one bank's complete, self-contained state: its busy-interval
+// timeline, the open-row annotation track riding on it, and its counters.
+type bankState struct {
+	tl    timeline.Timeline
+	rows  timeline.Track
+	stats BankStats
+}
+
+// DDR2 is the memory timing model. Access calls for different banks may run
+// concurrently (each bank's state is self-contained); calls for the same
+// bank, and all Stats/Reset calls, must be serialized by the caller.
 type DDR2 struct {
 	cfg          Config
 	blocksPerRow uint64
 	bankMask     uint64
-	openRow      []uint64
-	hasOpen      []bool
-	banks        []timeline.Timeline
-	stats        Stats
+	banks        []bankState
 }
 
 // New builds the memory model, panicking on invalid configuration.
@@ -116,17 +154,44 @@ func New(cfg Config) *DDR2 {
 		cfg:          cfg,
 		blocksPerRow: uint64(cfg.RowBytes / cfg.BlockBytes),
 		bankMask:     uint64(cfg.Banks - 1),
-		openRow:      make([]uint64, cfg.Banks),
-		hasOpen:      make([]bool, cfg.Banks),
-		banks:        make([]timeline.Timeline, cfg.Banks),
+		banks:        make([]bankState, cfg.Banks),
 	}
 }
 
 // Config returns the model's configuration.
 func (m *DDR2) Config() Config { return m.cfg }
 
-// Stats returns the live counters.
-func (m *DDR2) Stats() *Stats { return &m.stats }
+// Stats returns a snapshot of the counters aggregated over all banks.
+func (m *DDR2) Stats() Stats {
+	var s Stats
+	for i := range m.banks {
+		b := &m.banks[i].stats
+		s.Accesses += b.Accesses
+		s.RowHits += b.RowHits
+		s.RowConflicts += b.RowConflicts
+		s.Reads += b.Reads
+		s.Writes += b.Writes
+		s.QueueCycles += b.QueueCycles
+	}
+	return s
+}
+
+// BankStats returns a snapshot of every bank's counters, bank order.
+func (m *DDR2) BankStats() []BankStats {
+	out := make([]BankStats, len(m.banks))
+	for i := range m.banks {
+		out[i] = m.banks[i].stats
+	}
+	return out
+}
+
+// ResetStats zeroes every bank's counters; timeline and row state carry
+// over (microarchitectural state survives the warm-up boundary).
+func (m *DDR2) ResetStats() {
+	for i := range m.banks {
+		m.banks[i].stats = BankStats{}
+	}
+}
 
 // Map translates a block address to (bank, row). Consecutive rows interleave
 // across banks; with XOR mapping the bank index is permuted by the row
@@ -146,30 +211,41 @@ func (m *DDR2) Map(block uint64) (bank int, row uint64) {
 // occupied for the occupancy window only, so row-buffer hits pipeline at
 // the burst rate behind the first access's latency. Arrival times need not
 // be monotonic: the access is served in the earliest bank gap at or after
-// now, and QueueCycles records only time the bank was genuinely occupied at
-// the access's own arrival.
+// now, its row hit/miss is decided by the row open at that reserved service
+// time (the annotation track), and QueueCycles records only time the bank
+// was genuinely occupied at the access's own arrival.
+//
+// The row decision is made at the earliest instant the bank could begin
+// serving the access — the placement probed with the row-hit occupancy. On
+// a hit the reservation is exactly that probed window; on a conflict the
+// longer occupancy is placed from the same arrival (never earlier than the
+// probe), and the access leaves its own row open from its service start.
 func (m *DDR2) Access(now uint64, block uint64, write bool) (done uint64, rowHit bool) {
 	bank, row := m.Map(block)
-	rowHit = m.hasOpen[bank] && m.openRow[bank] == row
+	b := &m.banks[bank]
+
+	probe := b.tl.Probe(now, m.cfg.RowHitOccupancy)
+	openRow, hasOpen := b.rows.At(probe)
+	rowHit = hasOpen && openRow == row
+
 	lat, busy := m.cfg.RowConflictLatency, m.cfg.RowConflOccupancy
 	if rowHit {
 		lat, busy = m.cfg.RowHitLatency, m.cfg.RowHitOccupancy
-		m.stats.RowHits++
+		b.stats.RowHits++
 	} else {
-		m.stats.RowConflicts++
+		b.stats.RowConflicts++
 	}
-	start := m.banks[bank].Place(now, busy)
+	start := b.tl.Place(now, busy)
 	if start > now {
-		m.stats.QueueCycles += start - now
+		b.stats.QueueCycles += start - now
 	}
-	m.stats.Accesses++
+	b.stats.Accesses++
 	if write {
-		m.stats.Writes++
+		b.stats.Writes++
 	} else {
-		m.stats.Reads++
+		b.stats.Reads++
 	}
-	m.openRow[bank] = row
-	m.hasOpen[bank] = true
+	b.rows.Set(start, row)
 	done = start + lat
 	return done, rowHit
 }

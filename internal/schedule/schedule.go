@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -54,7 +55,14 @@ import (
 // fingerprint corpus is identical to v2 — but the on-disk layout is not,
 // and the bump strands v2 per-key files instead of mixing formats in one
 // directory.
-const KeySchema = "job/v3+" + sim.FingerprintSchema
+//
+// v4: timeline-native substrate. DRAM row hit/miss is decided by the row
+// open at an access's *reserved service time* (not presentation order), the
+// LLC-side MSHR/write-back pools are sharded per DRAM bank, and Results
+// carry arbiter-wait histograms plus per-bank row counters. Results for
+// identical configs differ from v3 (the golden corpus was re-pinned in the
+// same commit), so v3 disk-cache segments must strand.
+const KeySchema = "job/v4+" + sim.FingerprintSchema
 
 // Job is one simulation request: a fully-configured machine (any
 // PolicySpec.Configure mutation already applied), a workload, and the
@@ -327,10 +335,11 @@ func (s *Scheduler) count(bump func(*Stats)) {
 	s.mu.Unlock()
 }
 
-// cloneResult copies the Apps slice so callers cannot alias the stored
-// value.
+// cloneResult copies the Apps and DRAMBanks slices so callers cannot alias
+// the stored value.
 func cloneResult(r sim.Result) sim.Result {
 	out := r
 	out.Apps = append([]sim.AppResult(nil), r.Apps...)
+	out.DRAMBanks = append([]mem.BankStats(nil), r.DRAMBanks...)
 	return out
 }

@@ -63,3 +63,21 @@ func benchRunParallel(b *testing.B, threads int) {
 func BenchmarkRunMix16Parallel1(b *testing.B) { benchRunParallel(b, 1) }
 func BenchmarkRunMix16Parallel4(b *testing.B) { benchRunParallel(b, 4) }
 func BenchmarkRunMix16Parallel8(b *testing.B) { benchRunParallel(b, 8) }
+
+// benchRunStreaming is the substrate-bound counterpart: a 16-core all-
+// streaming/thrashing mix whose aggregate L2 miss density keeps cores
+// piled on the substrate order gate. This is the mix where the timeline-
+// native split earns its keep — phase-2 DRAM work leaves the gate for the
+// bank shards, and parked phase-1 calls are helper-drained — so the
+// Parallel4/8 deltas versus Parallel1 here are the helper-draining
+// before/after comparison CI tracks in BENCH_sim_substrate.txt.
+func benchRunStreaming(b *testing.B, threads int) {
+	benchRunThreads(b, 16, threads, []string{
+		"lbm", "STRM", "libq", "milc", "lbm", "STRM", "libq", "milc",
+		"lbm", "STRM", "libq", "milc", "lbm", "STRM", "libq", "milc",
+	})
+}
+
+func BenchmarkRunMix16StreamingParallel1(b *testing.B) { benchRunStreaming(b, 1) }
+func BenchmarkRunMix16StreamingParallel4(b *testing.B) { benchRunStreaming(b, 4) }
+func BenchmarkRunMix16StreamingParallel8(b *testing.B) { benchRunStreaming(b, 8) }

@@ -19,6 +19,11 @@ import (
 // paste the printed "got" digests below, and bump schedule.KeySchema in the
 // same commit so stale disk-cache entries strand instead of mixing with the
 // new semantics. A golden change with no schema bump is a review error.
+// Digest provenance: re-pinned for the timeline-native substrate (row
+// hit/miss decided by the row open at the reserved service time, LLC-side
+// pools sharded per DRAM bank, wait histograms and per-bank row counters in
+// the Result) — a deliberate semantic bump, paired with schedule.KeySchema
+// job/v4 in the same commit.
 var goldenFingerprints = []struct {
 	name   string
 	names  []string
@@ -28,19 +33,19 @@ var goldenFingerprints = []struct {
 	// Mix A: one app per intensity band (VL compute, M mixed-scan, H cyclic
 	// thrasher, VH stream) — the composition the paper's studies stress.
 	{"mixA/tadrrip", []string{"calc", "mcf", "libq", "lbm"}, "tadrrip",
-		"2383d46f5b9a1f7f16c197dc1d1029419e62453092d2c7de359489dbbda8fdb5"},
+		"7a0b2fa66f436a524900755f1a3a743e721cf8a90ff9fe8aba1498a2b3b0d819"},
 	{"mixA/ship", []string{"calc", "mcf", "libq", "lbm"}, "ship",
-		"844f888e1a6ce755a98c7ed8267ffaaea15e190fc69520d0ac4ad48e51cb7542"},
+		"8a0e412f778b50528eabb36c2ad04c5a236b7ee84052be41a871ab51c448cbc7"},
 	{"mixA/adapt", []string{"calc", "mcf", "libq", "lbm"}, "adapt",
-		"0e07786e3cba280ea47d0cddcbec02c1448cf9e9aea952e93facb03d0b651f06"},
+		"953a1595304b347104af0fdcc88be2ae12500baf453f90774afa4587130269b7"},
 	// Mix B: recency-friendly apps against two streams — the case where
 	// discrete insertion policies must protect the friendly working sets.
 	{"mixB/tadrrip", []string{"art", "gcc", "STRM", "milc"}, "tadrrip",
-		"2c2b089dc572ed396370a059b4d2eb5384ead34a7f46235aaf625bab5952f3d2"},
+		"0988fdc0b7243bf65530c0cfb1d7945e25229dfb1ddb606e442ba149d6b9f57f"},
 	{"mixB/ship", []string{"art", "gcc", "STRM", "milc"}, "ship",
-		"dc2201c5baa807764ea9d0923a84228ca7bc261fa166b85c7f3e9cb946ce38a6"},
+		"a7344225d87a4801ea7be56814a642511e9ff86f01d9e1f75d8fbf846d31cab1"},
 	{"mixB/adapt", []string{"art", "gcc", "STRM", "milc"}, "adapt",
-		"cbde9458f9283650c3ccfc3a59e7deba86e8d0ac5586347d9c0ddbf5d4fd9ebc"},
+		"3ac147389b1b0a78130f7d1dfc2105504ae89ebccc5d5ce693e59137c22f5432"},
 }
 
 // goldenConfig is the canonical tiny-fidelity machine of the corpus. Any

@@ -19,11 +19,22 @@
 // about to execute) in a padded atomic; keys only ever grow. A core runs
 // its private work completely freely and blocks in only two places:
 //
-//   - Substrate gate: a Fetch/Writeback may execute only when the core's
-//     key is the global minimum — every other core has published a larger
-//     key, and since keys are monotone, no core can ever produce a
-//     substrate call that sorts earlier. The operation then runs under the
-//     engine mutex against the single-threaded substrate.
+//   - Substrate gate: the arbiter/LLC phase of a Fetch/Writeback may
+//     execute only when the core's key is the global minimum — every other
+//     core has published a larger key, and since keys are monotone, no core
+//     can ever produce a substrate call that sorts earlier. The phase then
+//     runs under the engine mutex against the single-threaded phase-1
+//     state. The DRAM phase needs only per-bank order (see substrate.go),
+//     so the caller redeems its bank tickets *outside* the gate, under the
+//     shard mutex alone — shards for different banks overlap in wall-clock.
+//
+//     A core that has to park at the gate first publishes its pending call:
+//     when another core's key advance makes the parked call globally next,
+//     that core — already running, engine mutex in hand — executes the
+//     phase-1 call on the sleeper's behalf and deposits the result
+//     (helper-draining). The sleeper's wake-up then overlaps with the next
+//     core's work instead of sitting on the serialized substrate path.
+//
 //   - Crossed-core horizon: the serial loop stops at the final
 //     target-crossing step (key K*), so a core that has already crossed
 //     may only execute steps whose key precedes K*. K* is unknown until
@@ -84,6 +95,25 @@ type paddedKey struct {
 	_ [56]byte
 }
 
+// pendingCall is one parked substrate call published for helper-draining:
+// the phase-1 arguments of a Fetch/Writeback whose owner is asleep at the
+// substrate gate. A core whose key advance makes the call globally next
+// executes it under the engine mutex and deposits the outputs here; the
+// owner collects them on wake and redeems the tickets itself, outside the
+// gate. All fields are guarded by parEngine.mu.
+type pendingCall struct {
+	valid bool // call published and not yet served or withdrawn
+
+	isWB          bool
+	core          int
+	block, pc, at uint64
+	write, demand bool
+
+	served       bool // outputs deposited by a helper
+	done         uint64
+	read, victim dramTicket
+}
+
 // parEngine is one parallel execution of runUntilRetired.
 type parEngine struct {
 	s      *System
@@ -105,7 +135,8 @@ type parEngine struct {
 	cond *sync.Cond
 
 	// Everything below is guarded by mu.
-	waitKey   []uint64 // per-core registered wait key; keyInf = not waiting
+	waitKey   []uint64      // per-core registered wait key; keyInf = not waiting
+	pend      []pendingCall // per-core parked substrate calls (helper-draining)
 	crossed   []bool
 	crossKey  []uint64 // pre-step key of core i's target-crossing step
 	uncrossed int      // cores still short of target
@@ -158,6 +189,7 @@ func (s *System) runParallel(threads int, target uint64, freezeCycles, freezeIns
 		freezeInstr:  freezeInstr,
 		keys:         make([]paddedKey, n),
 		waitKey:      make([]uint64, n),
+		pend:         make([]pendingCall, n),
 		crossed:      make([]bool, n),
 		crossKey:     make([]uint64, n),
 	}
@@ -273,6 +305,7 @@ func (e *parEngine) runCore(id int) {
 		}
 	}
 	e.keys[id].v.Store(orderKey(c.Clock(), id)) // deferred crossing-step publish
+	e.helpPending(id)                           // the advance may expose a parked call
 	e.cond.Broadcast()                          // horizon moved: waiters re-check
 	e.mu.Unlock()
 
@@ -290,6 +323,7 @@ func (e *parEngine) runCore(id int) {
 	// Stop: leave the order entirely.
 	e.mu.Lock()
 	e.keys[id].v.Store(keyInf)
+	e.helpPending(id)
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.releaseToken()
@@ -297,14 +331,54 @@ func (e *parEngine) runCore(id int) {
 
 // publish stores core id's new order key and wakes sleepers the advance
 // may have unblocked: if the key rose across the lowest registered wait
-// key, this core was (one of) the cores that waiter was waiting out.
+// key, this core was (one of) the cores that waiter was waiting out. A
+// sleeper parked at the substrate gate is helper-drained before the
+// broadcast: its phase-1 call runs right now on this core, so its wake-up
+// latency overlaps the order's forward progress instead of serializing it.
 func (e *parEngine) publish(id int, prev, next uint64) {
 	e.keys[id].v.Store(next)
 	if w := e.minWait.Load(); prev <= w && w < next {
 		e.mu.Lock()
+		e.helpPending(id)
 		e.cond.Broadcast()
 		e.mu.Unlock()
 	}
+}
+
+// helpPending executes at most one parked substrate call that the caller's
+// key advance just made globally next in order, depositing the outputs for
+// the sleeping owner. At most one parked call can be eligible at any
+// moment: eligibility of the call at key k requires every other core's key
+// to exceed k, and a served owner's key only advances after it wakes — so
+// the minimum-key candidate is the only one worth checking. Callers hold
+// mu.
+func (e *parEngine) helpPending(id int) {
+	best, bestKey := -1, keyInf
+	for j := range e.pend {
+		if j == id || !e.pend[j].valid {
+			continue
+		}
+		if k := e.keys[j].v.Load(); k < bestKey {
+			best, bestKey = j, k
+		}
+	}
+	if best < 0 || !e.othersPast(bestKey, best) {
+		return
+	}
+	p := &e.pend[best]
+	p.done, p.read, p.victim = e.runCall(p)
+	p.served = true
+	p.valid = false
+}
+
+// runCall executes a substrate call's arbiter/LLC phase against the
+// single-threaded phase-1 state. Callers hold mu (the phase-1 order).
+func (e *parEngine) runCall(c *pendingCall) (done uint64, read, victim dramTicket) {
+	if c.isWB {
+		done, read = e.s.sub.writebackLLC(c.core, c.block, c.at)
+		return done, read, dramTicket{}
+	}
+	return e.s.sub.fetchLLC(c.core, c.block, c.pc, c.write, c.demand, c.at)
 }
 
 // othersPast reports whether every other core's published key is strictly
@@ -370,10 +444,14 @@ func (e *parEngine) park(id int) {
 	e.mu.Lock()
 }
 
-// enter blocks until core id's pending substrate operation is globally
-// next in order, then returns with mu held; the caller executes the
-// operation against the single-threaded substrate and unlocks.
-func (e *parEngine) enter(id int) {
+// execSub runs core id's substrate call's arbiter/LLC phase once it is
+// globally next in order. The fast path spins until eligible and executes
+// the call itself under mu; the slow path publishes the call for
+// helper-draining before parking, and on wake either collects a helper's
+// deposited outputs or — if nobody helped — withdraws the call and executes
+// it itself. Either way the caller redeems the returned DRAM tickets
+// outside the gate.
+func (e *parEngine) execSub(id int, c *pendingCall) (done uint64, read, victim dramTicket) {
 	k := e.keys[id].v.Load()
 	// Optimistic phase: the cores ahead of us are usually running and
 	// about to pass k; yielding to them is far cheaper than a park/unpark
@@ -381,19 +459,40 @@ func (e *parEngine) enter(id int) {
 	for spin := 0; spin < gateSpin; spin++ {
 		if e.othersPast(k, id) {
 			e.mu.Lock()
-			return
+			done, read, victim = e.runCall(c)
+			e.mu.Unlock()
+			return done, read, victim
 		}
 		runtime.Gosched()
 	}
 	e.mu.Lock()
+	p := &e.pend[id]
 	for !e.othersPast(k, id) {
+		// Publish the call so the core whose key advance unblocks us can
+		// execute it on our behalf, then register the wait key and park.
+		// Publication must precede the decisive re-check for the same
+		// reason registration must: a key transition landing between a
+		// bare check and a later publication would neither broadcast nor
+		// help.
+		*p = *c
+		p.valid = true
 		e.beginWait(id, k)
 		if e.othersPast(k, id) { // decisive re-check after registering
 			e.endWait(id)
 			break
 		}
 		e.park(id)
+		if p.served {
+			done, read, victim = p.done, p.read, p.victim
+			*p = pendingCall{}
+			e.mu.Unlock()
+			return done, read, victim
+		}
 	}
+	p.valid = false // withdrawn: nobody helped, execute it ourselves
+	done, read, victim = e.runCall(c)
+	e.mu.Unlock()
+	return done, read, victim
 }
 
 // gateCrossed reports whether a crossed core may execute its next step
@@ -426,24 +525,33 @@ func (e *parEngine) releaseToken() { e.tokens <- struct{}{} }
 
 // gatedSubstrate is the per-core order gate the engine installs in front
 // of the shared substrate for the duration of a parallel run: every
-// Fetch/Writeback first proves it is globally next in (clock, core-index)
-// order, then runs under the engine mutex.
+// Fetch/Writeback first proves its arbiter/LLC phase is globally next in
+// (clock, core-index) order (or has it helper-drained by another core),
+// then redeems its DRAM-phase tickets outside the gate under the bank
+// shard mutex alone.
 type gatedSubstrate struct {
 	e   *parEngine
 	id  int
-	sub Substrate
+	sub *sharedSubstrate
 }
 
 func (g *gatedSubstrate) Fetch(core int, block, pc uint64, write, demand bool, at uint64) uint64 {
-	g.e.enter(g.id)
-	v := g.sub.Fetch(core, block, pc, write, demand, at)
-	g.e.mu.Unlock()
-	return v
+	c := pendingCall{core: core, block: block, pc: pc, at: at, write: write, demand: demand}
+	done, rd, vt := g.e.execSub(g.id, &c)
+	if rd.valid {
+		done = g.sub.redeem(rd)
+	}
+	if vt.valid {
+		g.sub.redeem(vt)
+	}
+	return done
 }
 
 func (g *gatedSubstrate) Writeback(core int, block uint64, at uint64) uint64 {
-	g.e.enter(g.id)
-	v := g.sub.Writeback(core, block, at)
-	g.e.mu.Unlock()
-	return v
+	c := pendingCall{isWB: true, core: core, block: block, at: at}
+	done, wt, _ := g.e.execSub(g.id, &c)
+	if wt.valid {
+		done = g.sub.redeem(wt)
+	}
+	return done
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/arbiter"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
 
 // AppResult is one application's measured behaviour over the measurement
 // window.
@@ -24,13 +28,24 @@ type AppResult struct {
 	// request) at the VPC arbiter in front of the LLC banks — the per-app
 	// fairness diagnostic of the shared-LLC substrate.
 	ArbiterMeanWait float64
+
+	// ArbiterWaitHist is the application's full wait *distribution* at the
+	// VPC arbiter over arbiter.WaitBuckets fixed power-of-two buckets.
+	// Means are insensitive to burstiness; the tail mass here is what
+	// LFOC+-style fairness accounting compares across calm/burst mixes.
+	ArbiterWaitHist arbiter.WaitHist
 }
 
-// Result is one workload run. DRAMRowHitRate and the per-app
-// ArbiterMeanWait fields summarise the substrate's behaviour (diagnostics).
+// Result is one workload run. DRAMRowHitRate, DRAMBanks and the per-app
+// arbiter-wait fields summarise the substrate's behaviour (diagnostics).
 type Result struct {
 	Apps           []AppResult
 	DRAMRowHitRate float64
+
+	// DRAMBanks is the per-bank DRAM counter snapshot for the measurement
+	// window — row hits/conflicts and queueing per bank, now a defensible
+	// measured claim because row state lives on the reservation timeline.
+	DRAMBanks []mem.BankStats
 }
 
 // IPCs returns the per-app shared-mode IPC vector.
@@ -210,8 +225,12 @@ func (s *System) Run(warmup, measure uint64) Result {
 	if warmup > 0 {
 		s.runUntilRetired(warmup, nil, nil)
 	}
-	// Reset statistics at the warm-up boundary; microarchitectural state
-	// (cache contents, policy learning, in-flight misses) carries over.
+	// Drain deferred DRAM-phase ops, then reset statistics at the warm-up
+	// boundary; microarchitectural state (cache contents, policy learning,
+	// bank timelines and open rows, in-flight misses) carries over. The
+	// drain charges warm-up-initiated fire-and-forget drains to the warm-up
+	// window, exactly as the pre-shard substrate executed them inline.
+	s.sub.drainAll()
 	startCycles := make([]uint64, len(s.cores))
 	for i, c := range s.cores {
 		c.ResetStats()
@@ -220,12 +239,13 @@ func (s *System) Run(warmup, measure uint64) Result {
 		s.paths[i].l2.Stats().Reset()
 	}
 	s.sub.llc.Stats().Reset()
-	s.sub.dram.Stats().Reset()
+	s.sub.dram.ResetStats()
 	s.sub.arb.ResetStats()
 
 	freezeCycles := make([]uint64, len(s.cores))
 	freezeInstr := make([]uint64, len(s.cores))
 	s.runUntilRetired(measure, freezeCycles, freezeInstr)
+	s.sub.drainAll()
 
 	res := Result{Apps: make([]AppResult, len(s.cores))}
 	llcStats := s.sub.llc.Stats()
@@ -239,6 +259,7 @@ func (s *System) Run(warmup, measure uint64) Result {
 			LLCDemandMisses:   llcStats.DemandMisses[i],
 			LLCBypasses:       llcStats.Bypasses[i],
 			ArbiterMeanWait:   s.sub.arb.MeanWait(i),
+			ArbiterWaitHist:   s.sub.arb.WaitHistOf(i),
 		}
 		if cycles > 0 {
 			app.IPC = float64(instr) / float64(cycles)
@@ -248,5 +269,6 @@ func (s *System) Run(warmup, measure uint64) Result {
 		res.Apps[i] = app
 	}
 	res.DRAMRowHitRate = s.sub.dram.Stats().RowHitRate()
+	res.DRAMBanks = s.sub.dram.BankStats()
 	return res
 }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+)
+
+// streamingMix is a substrate-saturating 8-core workload: streams and
+// cyclic thrashers whose L2 miss density keeps the order gate and the bank
+// shards under constant pressure — the mix where parked substrate calls
+// (and therefore helper-draining) actually happen.
+var streamingMix = []string{"lbm", "STRM", "libq", "milc", "lbm", "STRM", "libq", "milc"}
+
+// TestSubstrateContentionMetricsDeterministic is the determinism
+// acceptance test of the new contention metrics: the arbiter-wait
+// histogram and the per-bank row-hit counters must be bit-identical across
+// intra-simulation thread counts (1 and 4) and batch caps (1 and
+// adaptive), exactly like every other Result bit.
+func TestSubstrateContentionMetricsDeterministic(t *testing.T) {
+	cfg := quickConfig(4)
+	names := []string{"lbm", "mcf", "libq", "STRM"}
+	run := func(threads, maxBatch int) Result {
+		s := NewFromNames(cfg, names)
+		s.SetParallel(threads)
+		s.SetMaxBatch(maxBatch)
+		return s.Run(5_000, 40_000)
+	}
+	want := run(1, 0)
+	if len(want.DRAMBanks) != cfg.Mem.Banks {
+		t.Fatalf("DRAMBanks has %d entries, want %d", len(want.DRAMBanks), cfg.Mem.Banks)
+	}
+	for _, c := range []struct{ threads, maxBatch int }{{1, 1}, {4, 0}, {4, 1}} {
+		got := run(c.threads, c.maxBatch)
+		for i := range want.Apps {
+			if got.Apps[i].ArbiterWaitHist != want.Apps[i].ArbiterWaitHist {
+				t.Errorf("threads=%d maxBatch=%d: app %d wait histogram diverged:\n  %v\n  %v",
+					c.threads, c.maxBatch, i, got.Apps[i].ArbiterWaitHist, want.Apps[i].ArbiterWaitHist)
+			}
+		}
+		for b := range want.DRAMBanks {
+			if got.DRAMBanks[b] != want.DRAMBanks[b] {
+				t.Errorf("threads=%d maxBatch=%d: bank %d counters diverged:\n  %+v\n  %+v",
+					c.threads, c.maxBatch, b, got.DRAMBanks[b], want.DRAMBanks[b])
+			}
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("threads=%d maxBatch=%d: full result fingerprint diverged", c.threads, c.maxBatch)
+		}
+	}
+}
+
+// TestParallelHelperDrainStreaming pins the helper-drained order gate on
+// the mix that exercises it hardest: a streaming-heavy machine at several
+// thread counts, with a single-step batch cap so cores hit the gate at
+// maximal frequency. Runs under -race in CI's race-sim job, which is what
+// covers the publish/park/help handoff for data races.
+func TestParallelHelperDrainStreaming(t *testing.T) {
+	cfg := quickConfig(8)
+	run := func(threads, maxBatch int) string {
+		s := NewFromNames(cfg, streamingMix)
+		s.SetParallel(threads)
+		s.SetMaxBatch(maxBatch)
+		return s.Run(4_000, 25_000).Fingerprint()
+	}
+	want := run(1, 0)
+	for _, c := range []struct{ threads, maxBatch int }{{2, 0}, {4, 0}, {8, 0}, {4, 1}} {
+		if got := run(c.threads, c.maxBatch); got != want {
+			t.Fatalf("threads=%d maxBatch=%d diverged from serial on the streaming mix",
+				c.threads, c.maxBatch)
+		}
+	}
+}
+
+// TestVictimTicketAfterForeignCompaction is the regression test for the
+// compacted-ticket underflow: a fire-and-forget victim op is collected at
+// birth, so a *later* core draining the bank followed by the owner's
+// redeem of its read ticket compacts the victim out of the queue before
+// the owner redeems the victim ticket. That late redeem must be a no-op,
+// not an index underflow. The interleaving is exactly what helper-draining
+// produces under the parallel engine; here it is driven directly so the
+// test is deterministic rather than schedule-dependent.
+func TestVictimTicketAfterForeignCompaction(t *testing.T) {
+	cfg := quickConfig(2)
+	s := NewFromNames(cfg, []string{"calc", "calc"})
+	u := s.sub
+
+	// Owner enqueues a read and a same-bank victim (the victim block is
+	// chosen to share the read's DRAM bank so it lands behind it).
+	read := u.enqueue(opRead, 0, 100)
+	bank, _ := u.dram.Map(0)
+	victimBlock := uint64(1) // same row, same bank as block 0
+	if b, _ := u.dram.Map(victimBlock); b != bank {
+		t.Fatalf("test setup: blocks 0 and %d map to different banks", victimBlock)
+	}
+	victim := u.enqueue(opVictim, victimBlock, 100)
+
+	// A later core's op on the same bank is enqueued and redeemed first,
+	// draining the whole queue (read, victim, its own op).
+	foreign := u.enqueue(opRead, victimBlock+2, 200)
+	u.redeem(foreign)
+
+	// The owner's read redeem compacts the executed prefix — including the
+	// born-collected victim — past the victim's seq.
+	if done := u.redeem(read); done == 0 {
+		t.Fatal("read ticket lost its result")
+	}
+	// The victim ticket now points below the queue base; redeeming it must
+	// be safe and leave the shard consistent.
+	u.redeem(victim)
+	sh := &u.shards[bank]
+	if len(sh.ops) != 0 || sh.nextExec != 0 {
+		t.Fatalf("shard queue inconsistent after late victim redeem: %d ops, nextExec %d",
+			len(sh.ops), sh.nextExec)
+	}
+	// The substrate still works end-to-end afterwards.
+	if done := u.Fetch(0, 1<<20, 0, false, true, 300); done == 0 {
+		t.Fatal("substrate broken after late victim redeem")
+	}
+}
+
+// TestWaitHistogramPopulated checks the histogram is a real distribution
+// on a bank-contended mix: per-app mass present, zero-wait and waiting
+// requests both represented, and mass beyond bucket zero exactly when the
+// scalar mean says there was queueing.
+func TestWaitHistogramPopulated(t *testing.T) {
+	cfg := quickConfig(8)
+	res := NewFromNames(cfg, streamingMix).Run(5_000, 40_000)
+	var tailMass uint64
+	for i, app := range res.Apps {
+		total := app.ArbiterWaitHist.Total()
+		if total == 0 {
+			t.Fatalf("app %d: empty wait histogram on a contended mix", i)
+		}
+		var waiting uint64
+		for b := 1; b < arbiter.WaitBuckets; b++ {
+			waiting += app.ArbiterWaitHist[b]
+		}
+		tailMass += waiting
+		if (app.ArbiterMeanWait > 0) != (waiting > 0) {
+			t.Fatalf("app %d: mean wait %.3f inconsistent with bucketed waiting mass %d",
+				i, app.ArbiterMeanWait, waiting)
+		}
+	}
+	if tailMass == 0 {
+		t.Fatal("no request waited anywhere: mix is not contending the banks")
+	}
+}
+
+// TestDRAMBankCountersPopulated checks the per-bank row counters are a
+// consistent decomposition: every access is a hit or a conflict, traffic
+// spreads across banks (XOR interleaving), and the aggregate reproduces
+// Result.DRAMRowHitRate.
+func TestDRAMBankCountersPopulated(t *testing.T) {
+	cfg := quickConfig(4)
+	res := NewFromNames(cfg, []string{"lbm", "mcf", "libq", "STRM"}).Run(5_000, 40_000)
+	var acc, hits uint64
+	busy := 0
+	for b, bs := range res.DRAMBanks {
+		if bs.RowHits+bs.RowConflicts != bs.Accesses || bs.Reads+bs.Writes != bs.Accesses {
+			t.Fatalf("bank %d counters inconsistent: %+v", b, bs)
+		}
+		if bs.Accesses > 0 {
+			busy++
+		}
+		acc += bs.Accesses
+		hits += bs.RowHits
+	}
+	if acc == 0 {
+		t.Fatal("no DRAM traffic recorded")
+	}
+	if busy < cfg.Mem.Banks/2 {
+		t.Fatalf("only %d of %d banks saw traffic; interleaving broken", busy, cfg.Mem.Banks)
+	}
+	if agg := float64(hits) / float64(acc); agg != res.DRAMRowHitRate {
+		t.Fatalf("per-bank aggregate row-hit rate %.6f != DRAMRowHitRate %.6f", agg, res.DRAMRowHitRate)
+	}
+}
+
+// TestBurstVariantShiftsWaitTail is the end-to-end payoff of wiring
+// trace.MarkovBurst into the bench models: the same four applications at
+// the same long-run intensity, with only gap *correlation* changed, must
+// shift arbiter-wait mass into the tail buckets. Means barely move on this
+// comparison — the histogram is what makes the difference measurable.
+func TestBurstVariantShiftsWaitTail(t *testing.T) {
+	cfg := quickConfig(4)
+	tailShare := func(names []string) float64 {
+		res := NewFromNames(cfg, names).Run(5_000, 60_000)
+		var total, tail uint64
+		for _, app := range res.Apps {
+			for b, c := range app.ArbiterWaitHist {
+				total += c
+				if b >= 2 { // waits of 2+ cycles
+					tail += c
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatal("empty histograms")
+		}
+		return float64(tail) / float64(total)
+	}
+	calm := tailShare([]string{"lbm", "libq", "milc", "STRM"})
+	burst := tailShare([]string{"lbm+burst", "libq+burst", "milc+burst", "STRM+burst"})
+	if burst <= calm {
+		t.Fatalf("burst mix tail share %.4f not above calm %.4f; correlated gaps are not reaching the arbiter",
+			burst, calm)
+	}
+}

@@ -85,11 +85,10 @@ func New(cfg Config, gens []trace.Generator) *System {
 			BlockBytes: cfg.BlockBytes,
 			HitLatency: cfg.LLCLatency,
 		}, llcPol),
-		dram:    mem.New(cfg.Mem),
-		arb:     arbiter.New(cfg.Arb),
-		llcMSHR: cache.NewTimedPool(cfg.LLCMSHRs),
-		llcWB:   cache.NewTimedPool(cfg.LLCWBEntries),
+		dram: mem.New(cfg.Mem),
+		arb:  arbiter.New(cfg.Arb),
 	}
+	s.sub.shards = newShards(&s.cfg)
 
 	for i := 0; i < cfg.Cores; i++ {
 		l1Geom := cache.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, Cores: 1}

@@ -78,7 +78,33 @@ func (t *Timeline) Place(now, dur uint64) (start uint64) {
 	if dur == 0 {
 		return now
 	}
+	i, start := t.probe(now, dur)
+	t.insert(i, start, start+dur)
+	t.prune()
+	return start
+}
 
+// Probe returns the start time Place(now, dur) would choose without
+// reserving anything: the earliest gap of length dur at or after the
+// (clamped) arrival time. A Probe followed by a Place with the same
+// arguments and no intervening mutation reserves exactly the probed window —
+// callers use the pair to make a decision (e.g. a DRAM row hit/miss) that
+// itself determines the duration they finally reserve.
+func (t *Timeline) Probe(now, dur uint64) (start uint64) {
+	if now < t.floor {
+		now = t.floor
+	}
+	if dur == 0 {
+		return now
+	}
+	_, start = t.probe(now, dur)
+	return start
+}
+
+// probe computes the earliest-gap placement of [start, start+dur) for an
+// already-clamped arrival, returning the insertion index alongside the
+// start. It does not mutate the timeline.
+func (t *Timeline) probe(now, dur uint64) (i int, start uint64) {
 	// First interval that ends after now; everything before it is history
 	// this request cannot overlap.
 	lo, hi := 0, len(t.starts)
@@ -103,9 +129,7 @@ func (t *Timeline) Place(now, dur uint64) (start uint64) {
 		}
 		i++
 	}
-	t.insert(i, start, start+dur)
-	t.prune()
-	return start
+	return i, start
 }
 
 // insert adds [s, e) at position i, merging with adjacent neighbours so

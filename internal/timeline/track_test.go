@@ -1,0 +1,171 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTrackAtEmpty(t *testing.T) {
+	var tr Track
+	if _, ok := tr.At(0); ok {
+		t.Fatal("empty track reported a state")
+	}
+	if _, ok := tr.At(1 << 40); ok {
+		t.Fatal("empty track reported a state at a large time")
+	}
+}
+
+func TestTrackInOrderAndBetween(t *testing.T) {
+	tr := NewTrack(0)
+	tr.Set(10, 100)
+	tr.Set(20, 200)
+	tr.Set(30, 300)
+	cases := []struct {
+		at  uint64
+		tag uint64
+		ok  bool
+	}{
+		{9, 0, false},
+		{10, 100, true},
+		{15, 100, true},
+		{20, 200, true},
+		{29, 200, true},
+		{30, 300, true},
+		{1 << 30, 300, true},
+	}
+	for _, c := range cases {
+		tag, ok := tr.At(c.at)
+		if ok != c.ok || (ok && tag != c.tag) {
+			t.Fatalf("At(%d) = (%d,%v), want (%d,%v)", c.at, tag, ok, c.tag, c.ok)
+		}
+	}
+}
+
+// TestTrackOutOfOrderSetDoesNotRewriteLaterState is the property the DRAM
+// row model needs: a mark inserted into an earlier idle gap must govern only
+// the span up to the next existing mark, and marks strictly after a query
+// time never influence it.
+func TestTrackOutOfOrderSetDoesNotRewriteLaterState(t *testing.T) {
+	tr := NewTrack(0)
+	tr.Set(100, 1)
+	tr.Set(50, 2) // presented later, earlier in time
+	if tag, ok := tr.At(60); !ok || tag != 2 {
+		t.Fatalf("At(60) = (%d,%v), want the out-of-order mark 2", tag, ok)
+	}
+	if tag, ok := tr.At(100); !ok || tag != 1 {
+		t.Fatalf("At(100) = (%d,%v), want the later mark 1 untouched", tag, ok)
+	}
+	if _, ok := tr.At(49); ok {
+		t.Fatal("state reported before the earliest mark")
+	}
+}
+
+func TestTrackEqualTimeOverwrites(t *testing.T) {
+	tr := NewTrack(0)
+	tr.Set(7, 1)
+	tr.Set(7, 2)
+	if tr.Marks() != 1 {
+		t.Fatalf("equal-time Set left %d marks, want 1", tr.Marks())
+	}
+	if tag, _ := tr.At(7); tag != 2 {
+		t.Fatalf("At(7) = %d, want the overwriting tag 2", tag)
+	}
+}
+
+// TestTrackPruneKeepsBaseState checks the floor contract: pruning must not
+// change At for any time at or above the new floor, because the newest
+// dropped mark survives as the base state.
+func TestTrackPruneKeepsBaseState(t *testing.T) {
+	const cap = 16
+	tr := NewTrack(cap)
+	for i := uint64(0); i < cap+1; i++ {
+		tr.Set(i*10, i)
+	}
+	if tr.Floor() == 0 {
+		t.Fatal("overflowing the cap did not raise the floor")
+	}
+	if tr.Marks() > cap {
+		t.Fatalf("prune left %d marks above the cap %d", tr.Marks(), cap)
+	}
+	// Every time at or above the floor answers exactly as the unbounded
+	// reference would.
+	for at := tr.Floor(); at <= (cap+1)*10; at++ {
+		want := at / 10
+		if want > cap {
+			want = cap
+		}
+		if tag, ok := tr.At(at); !ok || tag != want {
+			t.Fatalf("post-prune At(%d) = (%d,%v), want (%d,true)", at, tag, ok, want)
+		}
+	}
+	// Sets below the floor clamp to it rather than resurrecting history.
+	tr.Set(0, 999)
+	if tag, _ := tr.At(tr.Floor()); tag != 999 {
+		t.Fatal("below-floor Set did not clamp to the floor")
+	}
+}
+
+// TestTrackRandomAgainstReference drives Set/At with seeded random times
+// (no pruning) and checks against a brute-force latest-mark-at-or-before
+// scan.
+func TestTrackRandomAgainstReference(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		tr := NewTrack(1 << 20)
+		type mark struct{ at, tag uint64 }
+		var ref []mark
+		src := rng.New(seed * 0x9E3779B97F4A7C15)
+		for step := 0; step < 500; step++ {
+			at := uint64(src.Intn(1024))
+			tag := uint64(src.Intn(64))
+			tr.Set(at, tag)
+			replaced := false
+			for i := range ref {
+				if ref[i].at == at {
+					ref[i].tag = tag
+					replaced = true
+				}
+			}
+			if !replaced {
+				ref = append(ref, mark{at, tag})
+			}
+
+			q := uint64(src.Intn(1100))
+			var wantTag uint64
+			wantOK := false
+			bestAt := uint64(0)
+			for _, m := range ref {
+				if m.at <= q && (!wantOK || m.at >= bestAt) {
+					wantOK, wantTag, bestAt = true, m.tag, m.at
+				}
+			}
+			gotTag, gotOK := tr.At(q)
+			if gotOK != wantOK || (gotOK && gotTag != wantTag) {
+				t.Fatalf("seed %d step %d: At(%d) = (%d,%v), reference (%d,%v)",
+					seed, step, q, gotTag, gotOK, wantTag, wantOK)
+			}
+		}
+	}
+}
+
+// TestProbeMatchesPlace pins the Probe/Place pair contract: Probe returns
+// exactly the start the next Place will reserve, and reserves nothing.
+func TestProbeMatchesPlace(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		tl := New(1 << 20)
+		src := rng.New(seed * 0xD1B54A32D192ED03)
+		for step := 0; step < 300; step++ {
+			now := uint64(src.Intn(4096))
+			dur := uint64(src.Intn(8))
+			before := tl.Intervals()
+			probed := tl.Probe(now, dur)
+			if tl.Intervals() != before {
+				t.Fatalf("seed %d step %d: Probe mutated the timeline", seed, step)
+			}
+			if got := tl.Place(now, dur); got != probed {
+				t.Fatalf("seed %d step %d: Probe(%d,%d)=%d but Place=%d",
+					seed, step, now, dur, probed, got)
+			}
+		}
+	}
+}
