@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-race-sim lint vet fmt-check bench bench-smoke paperfig ci clean
+.PHONY: all build test test-race test-race-sim lint vet fmt-check docs-check bench bench-smoke paperfig ci clean
 
 all: build
 
@@ -37,6 +37,12 @@ fmt-check:
 
 lint: vet fmt-check
 
+# Documentation hygiene: gofmt/vet, doc comments on every exported
+# identifier, and markdown link resolution (ARCHITECTURE.md, EXPERIMENTS.md
+# and friends must not rot).
+docs-check:
+	sh scripts/docs_check.sh
+
 # Full benchmark sweep at Tiny fidelity (prints every regenerated table).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/experiments
@@ -61,7 +67,7 @@ bench-smoke: build
 paperfig:
 	$(GO) run ./cmd/paperfig -all -stats -cache-dir .simcache -json paperfig.json
 
-ci: build lint test test-race
+ci: build lint docs-check test test-race
 
 clean:
 	rm -rf .simcache BENCH_*.json BENCH_*.txt paperfig.json

@@ -11,7 +11,9 @@
 //   - Policies: every LLC replacement policy of the paper is available by
 //     name (Policies lists them), including the contribution — ADAPT with
 //     footprint-number monitoring — as "adapt" (bypassing ADAPT_bp32) and
-//     "adapt-ins".
+//     "adapt-ins". Orthogonal to the insertion policy, WithClustering
+//     enables an LFOC-style fairness clustering layer that partitions the
+//     LLC ways between online-classified application clusters.
 //   - Workloads: the 38 Table 4 benchmark models (Benchmarks) and the
 //     Table 6 workload studies (Studies, MixesFor).
 //
@@ -34,7 +36,9 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -154,6 +158,37 @@ func RunSolo(cfg Config, name string, warmup, measure uint64) (AppResult, error)
 		return AppResult{}, err
 	}
 	return res.Apps[0], nil
+}
+
+// ClusterConfig parameterises the LFOC-style fairness clustering layer —
+// the second policy axis, orthogonal to the LLC insertion policy: an online
+// classifier groups applications into streaming / light-sharing /
+// cache-sensitive clusters and partitions the LLC ways between them (see
+// Config.Cluster and internal/cluster).
+type ClusterConfig = cluster.Config
+
+// ModeLFOC is the ClusterConfig.Mode value that enables the clustering
+// layer; the zero mode leaves it off.
+const ModeLFOC = cluster.ModeLFOC
+
+// WithClustering returns cfg with the LFOC clustering layer enabled at its
+// default thresholds and way quotas. The LLC policy must support way masks
+// (every deterministic registered policy except "random" does).
+func WithClustering(cfg Config) Config {
+	cfg.Cluster.Mode = ModeLFOC
+	return cfg
+}
+
+// FairnessReport aggregates the fairness metric suite for one workload run:
+// per-app slowdowns versus solo baselines, the unfairness factor
+// (max/min slowdown), maximum slowdown, and harmonic weighted speedup.
+type FairnessReport = metrics.FairnessReport
+
+// FairnessOf computes a FairnessReport from per-app shared-run IPCs and the
+// matching solo-run IPCs (index-aligned; entries with a non-positive solo
+// IPC are treated as unmeasured and skipped).
+func FairnessOf(sharedIPC, aloneIPC []float64) FairnessReport {
+	return metrics.Fairness(sharedIPC, aloneIPC)
 }
 
 // NewADAPT constructs a standalone ADAPT policy (the paper's contribution)

@@ -8,6 +8,8 @@
 //	paperfig -fig 8 -scale             extend Fig. 8 to 32/64/128 cores
 //	paperfig -table 2|4|7              regenerate one table
 //	paperfig -ablation interval|sets|ranges
+//	paperfig -compare                  clustering (LFOC) vs insertion policies:
+//	                                   fairness tables for calm and +burst mixes
 //	paperfig -all                      everything (long)
 //
 // Fidelity flags:
@@ -56,6 +58,7 @@ func main() {
 		fig       = flag.Int("fig", 0, "figure number to regenerate (1,3,4,5,6,7,8)")
 		table     = flag.Int("table", 0, "table number to regenerate (2,4,7)")
 		ablation  = flag.String("ablation", "", "ablation sweep: interval|sets|ranges")
+		compare   = flag.Bool("compare", false, "clustering-vs-insertion comparison with fairness tables (calm and +burst)")
 		all       = flag.Bool("all", false, "regenerate everything")
 		full      = flag.Bool("full", false, "paper-scale fidelity (slow)")
 		tiny      = flag.Bool("tiny", false, "test-scale fidelity (CI smoke)")
@@ -196,6 +199,10 @@ func main() {
 	if *all || *ablation == "ranges" {
 		ran = true
 		emit(experiments.AblationRanges(opt).Table())
+	}
+	if *all || *compare {
+		ran = true
+		emit(experiments.Compare(opt).Tables()...)
 	}
 
 	if !ran {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,10 +16,16 @@ import (
 )
 
 func main() {
+	tiny := flag.Bool("tiny", false, "shrink the instruction budgets ~10x for a fast smoke run")
+	flag.Parse()
+
 	study := adapt.Studies()[4] // the 24-core study
 	mix := adapt.MixesFor(study, 7)[0]
 
-	const warmup, measure = 150_000, 600_000
+	warmup, measure := uint64(150_000), uint64(600_000)
+	if *tiny {
+		warmup, measure = 15_000, 60_000
+	}
 
 	run := func(policy string) adapt.Result {
 		cfg := adapt.QuickConfig(study.Cores)

@@ -10,17 +10,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	adapt "repro"
 )
 
-const (
-	llcSets  = 2048 // a 2MB 16-way LLC's sets
-	interval = 40_000
-)
+const llcSets = 2048 // a 2MB 16-way LLC's sets
 
 func main() {
+	tiny := flag.Bool("tiny", false, "one sampling interval per phase instead of three")
+	flag.Parse()
+
+	const interval = 40_000
+	rounds := 3
+	if *tiny {
+		rounds = 1
+	}
+
 	sampler := adapt.NewSampler(adapt.SamplerConfig{
 		Sets:  llcSets,
 		Cores: 1,
@@ -32,9 +39,9 @@ func main() {
 		wsBlocks uint64
 		accesses int
 	}{
-		{"small working set (2 blocks/set)", 2 * llcSets, 3 * interval},
-		{"thrashing sweep (32 blocks/set)", 32 * llcSets, 3 * interval},
-		{"medium working set (8 blocks/set)", 8 * llcSets, 3 * interval},
+		{"small working set (2 blocks/set)", 2 * llcSets, rounds * interval},
+		{"thrashing sweep (32 blocks/set)", 32 * llcSets, rounds * interval},
+		{"medium working set (8 blocks/set)", 8 * llcSets, rounds * interval},
 	}
 
 	fmt.Printf("%-36s %12s %8s\n", "phase", "footprint", "bucket")

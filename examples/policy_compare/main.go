@@ -1,9 +1,12 @@
 // Policy comparison: the Figure 3 story on a single workload — run the same
-// 16-application mix under every LLC policy of the paper and rank them by
-// weighted speed-up, printing per-policy LLC miss totals as well.
+// 16-application mix under every LLC insertion policy of the paper AND under
+// the LFOC-style clustering layer (the second policy axis), then rank all of
+// them by weighted speed-up and report the fairness metrics (unfairness
+// factor, harmonic weighted speed-up) that make the two axes comparable.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -12,13 +15,19 @@ import (
 )
 
 func main() {
+	tiny := flag.Bool("tiny", false, "shrink the instruction budgets ~10x for a fast smoke run")
+	flag.Parse()
+
 	study := adapt.Studies()[2] // the 16-core study
 	mix := adapt.MixesFor(study, 42)[0]
 	fmt.Println("workload:", mix.Names)
 
-	const warmup, measure = 200_000, 800_000
+	warmup, measure := uint64(200_000), uint64(800_000)
+	if *tiny {
+		warmup, measure = 20_000, 80_000
+	}
 
-	// Solo baselines for the weighted-speed-up denominator.
+	// Solo baselines for the weighted-speed-up and slowdown denominators.
 	alone := map[string]float64{}
 	for _, n := range mix.Names {
 		if _, done := alone[n]; done {
@@ -30,33 +39,48 @@ func main() {
 		}
 		alone[n] = solo.IPC
 	}
+	aloneIPC := make([]float64, len(mix.Names))
+	for i, n := range mix.Names {
+		aloneIPC[i] = alone[n]
+	}
 
 	type outcome struct {
-		policy string
-		ws     float64
+		label  string
+		rep    adapt.FairnessReport
 		misses uint64
 	}
+	run := func(label string, cfg adapt.Config) outcome {
+		res, err := adapt.RunMix(cfg, mix.Names, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := outcome{label: label}
+		shared := make([]float64, len(mix.Names))
+		for i := range mix.Names {
+			shared[i] = res.Apps[i].IPC
+			o.misses += res.Apps[i].LLCDemandMisses
+		}
+		o.rep = adapt.FairnessOf(shared, aloneIPC)
+		return o
+	}
+
+	// Axis 1: the paper's discrete insertion policies.
 	policies := []string{"lru", "srrip", "drrip", "tadrrip", "ship", "eaf", "adapt-ins", "adapt"}
 	var results []outcome
 	for _, p := range policies {
 		cfg := adapt.QuickConfig(study.Cores)
 		cfg.LLCPolicy = p
-		res, err := adapt.RunMix(cfg, mix.Names, warmup, measure)
-		if err != nil {
-			log.Fatal(err)
-		}
-		o := outcome{policy: p}
-		for i, n := range mix.Names {
-			o.ws += res.Apps[i].IPC / alone[n]
-			o.misses += res.Apps[i].LLCDemandMisses
-		}
-		results = append(results, o)
+		results = append(results, run(p, cfg))
 	}
+	// Axis 2: LFOC-style clustering over the baseline insertion policy.
+	results = append(results, run("tadrrip+LFOC", adapt.WithClustering(adapt.QuickConfig(study.Cores))))
 
-	sort.Slice(results, func(i, j int) bool { return results[i].ws > results[j].ws })
-	fmt.Printf("\n%-10s %14s %14s\n", "policy", "weighted SU", "LLC misses")
+	sort.Slice(results, func(i, j int) bool { return results[i].rep.WSpeedup > results[j].rep.WSpeedup })
+	fmt.Printf("\n%-13s %12s %8s %8s %12s\n", "policy", "weighted SU", "UF", "HWS", "LLC misses")
 	for _, o := range results {
-		fmt.Printf("%-10s %14.3f %14d\n", o.policy, o.ws, o.misses)
+		fmt.Printf("%-13s %12.3f %8.3f %8.3f %12d\n",
+			o.label, o.rep.WSpeedup, o.rep.Unfairness, o.rep.HWSpeedup, o.misses)
 	}
-	fmt.Println("\n(adapt = ADAPT_bp32, the paper's best variant)")
+	fmt.Println("\n(adapt = ADAPT_bp32; UF = max/min slowdown, lower is fairer;")
+	fmt.Println(" HWS = harmonic weighted speed-up, higher is both fast and fair)")
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,9 @@ import (
 )
 
 func main() {
+	tiny := flag.Bool("tiny", false, "shrink the instruction budgets ~10x for a fast smoke run")
+	flag.Parse()
+
 	// A 16-application mix: two thrashers (libq, lbm), heavy M-class apps
 	// and cache-friendly ones — the regime the paper targets, where the
 	// LLC's 16 ways are shared by 16 applications.
@@ -20,7 +24,10 @@ func main() {
 		"calc", "eon", "gcc", "mesa", "sphnx", "black", "vort", "fsim",
 	}
 
-	const warmup, measure = 200_000, 800_000
+	warmup, measure := uint64(200_000), uint64(800_000)
+	if *tiny {
+		warmup, measure = 20_000, 80_000
+	}
 
 	run := func(policy string) adapt.Result {
 		cfg := adapt.QuickConfig(len(names))

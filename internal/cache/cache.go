@@ -94,6 +94,19 @@ type ReplacementPolicy interface {
 	OnEvict(set, way int, ev EvictedLine)
 }
 
+// WayMasker is the optional capability interface a replacement policy
+// implements to support way partitioning: SetWayMask restricts which ways
+// core's *fills* may victimise in every set (bit w set = way w allowed).
+// Hits remain unrestricted — a line is served wherever it lives, which is
+// the standard way-partitioning semantics (partitioning controls insertion
+// bandwidth, not lookup). A zero mask means unrestricted. The clustering
+// layer in internal/cluster drives this; policies that cannot honour masks
+// simply don't implement the interface and the simulator rejects the
+// combination at construction time.
+type WayMasker interface {
+	SetWayMask(core int, mask uint64)
+}
+
 // Line is one cache block's bookkeeping state. Replacement metadata lives in
 // the policies, not here.
 type Line struct {

@@ -215,7 +215,7 @@ func (a *ADAPT) FillDecision(ac *cache.Access, set int) (int, bool) {
 			return -1, false
 		}
 	}
-	return a.Victim(set), true
+	return a.VictimFor(ac, set), true
 }
 
 // OnFill applies Table 1's discrete insertion values.

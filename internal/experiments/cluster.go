@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Clustering-vs-insertion comparison: the paper's lever (per-thread discrete
+// insertion policies) against the LFOC-style lever (classify apps, partition
+// the LLC into cluster way quotas; internal/cluster), head-to-head on the
+// same 16-core mixes, under calm and bursty traffic, scored with the
+// fairness suite in internal/metrics. cmd/paperfig emits it with -compare.
+
+// ClusterSpec returns the LFOC clustering configuration as a PolicySpec:
+// the baseline insertion policy underneath (clustering replaces *capacity*
+// allocation, not the insertion machinery inside each partition) with the
+// clustering manager switched on.
+func ClusterSpec() PolicySpec {
+	return PolicySpec{
+		Key:    "LFOC",
+		Policy: Baseline.Policy,
+		Configure: func(cfg *sim.Config, names []string) {
+			cfg.Cluster.Mode = cluster.ModeLFOC
+		},
+	}
+}
+
+// CompareSpecs are the comparison's columns: the baseline, the paper's best
+// insertion policy, and the clustering axis.
+func CompareSpecs() []PolicySpec {
+	return []PolicySpec{
+		Baseline,
+		{Key: "ADAPT_bp32", Policy: "adapt"},
+		ClusterSpec(),
+	}
+}
+
+// burstMixes maps a mix list to its bursty twin: every benchmark name gains
+// bench.BurstSuffix, selecting the intensity-preserving markov-burst gap
+// process. IDs are preserved so calm and burst rows align.
+func burstMixes(mixes []workload.Mix) []workload.Mix {
+	out := make([]workload.Mix, len(mixes))
+	for i, m := range mixes {
+		names := make([]string, len(m.Names))
+		for j, n := range m.Names {
+			names[j] = n + bench.BurstSuffix
+		}
+		out[i] = workload.Mix{ID: m.ID, Names: names}
+	}
+	return out
+}
+
+// CompareResult carries the clustering-vs-insertion comparison: the same
+// study's mixes under calm and bursty traffic, each simulated under every
+// CompareSpecs policy.
+type CompareResult struct {
+	Calm  StudyRuns
+	Burst StudyRuns
+}
+
+// Compare runs the comparison on the 16-core study (the paper's headline
+// width) under the given options. Solo baselines use the matching traffic
+// variant — a bursty app's slowdown is measured against itself running
+// alone with the same gap process, so the fairness numbers isolate
+// *contention*, not burstiness.
+func Compare(opt Options) CompareResult {
+	r := NewRunner(opt)
+	study, err := workload.StudyByCores(16)
+	if err != nil {
+		panic(err)
+	}
+	pols := CompareSpecs()
+	mixes := opt.mixes(study)
+	return CompareResult{
+		Calm:  r.RunStudyMixes(study, mixes, study.Name, pols),
+		Burst: r.RunStudyMixes(study, burstMixes(mixes), study.Name+bench.BurstSuffix, pols),
+	}
+}
+
+// FairnessTable renders the fairness report of every listed policy over the
+// study's mixes: per mix, the unfairness factor (max/min slowdown; 1.0 =
+// perfectly fair), the harmonic weighted speedup, and the worst single-app
+// slowdown, with a mean row. Formulas are documented in EXPERIMENTS.md
+// ("Fairness & contention metrics").
+func (s StudyRuns) FairnessTable(title string, keys []string) Table {
+	t := Table{
+		Title: title,
+		Note:  "UF = max/min slowdown (1.0 = fair) | HWS = harmonic weighted speedup | maxSD = worst per-app slowdown",
+	}
+	t.Header = []string{"mix"}
+	for _, k := range keys {
+		t.Header = append(t.Header, k+" UF", k+" HWS", k+" maxSD")
+	}
+
+	reports := map[string][]metrics.FairnessReport{}
+	for _, k := range keys {
+		pw := s.PerWorkload(k)
+		reps := make([]metrics.FairnessReport, len(pw))
+		for i, w := range pw {
+			reps[i] = metrics.Fairness(w.SharedIPC, w.AloneIPC)
+		}
+		reports[k] = reps
+	}
+
+	for mi, mix := range s.Mixes {
+		row := []string{itoa(mix.ID)}
+		for _, k := range keys {
+			rep := reports[k][mi]
+			row = append(row, f3(rep.Unfairness), f3(rep.HWSpeedup), f3(rep.MaxSlowdown))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean"}
+	for _, k := range keys {
+		var uf, hws, msd []float64
+		for _, rep := range reports[k] {
+			uf = append(uf, rep.Unfairness)
+			hws = append(hws, rep.HWSpeedup)
+			msd = append(msd, rep.MaxSlowdown)
+		}
+		mean = append(mean, f3(metrics.AMean(uf)), f3(metrics.AMean(hws)), f3(metrics.AMean(msd)))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t
+}
+
+// ClassificationTable renders what the online classifier decided under the
+// clustering policy: per mix, the cluster population counts and the way
+// quota each class ended with, plus the streaming apps by name — the
+// ground-truth check that pure scans cluster as streaming and reuse-heavy
+// apps stay sensitive.
+func (s StudyRuns) ClassificationTable(title, key string) Table {
+	t := Table{
+		Title:  title,
+		Note:   "final epoch's classification under " + key + " (class counts, fill-way quotas, streaming apps)",
+		Header: []string{"mix", "stream", "light", "sensitive", "ways s/l/sen", "streaming apps"},
+	}
+	for _, run := range s.ByPolicy[key] {
+		counts := map[string]int{}
+		quota := map[string]int{}
+		var streams []string
+		for slot, app := range run.Result.Apps {
+			counts[app.Cluster]++
+			quota[app.Cluster] = app.ClusterWays
+			if app.Cluster == "stream" {
+				streams = append(streams, run.Mix.Names[slot])
+			}
+		}
+		sort.Strings(streams)
+		ways := fmt.Sprintf("%d/%d/%d", quota["stream"], quota["light"], quota["sensitive"])
+		t.Rows = append(t.Rows, []string{
+			itoa(run.Mix.ID),
+			itoa(counts["stream"]), itoa(counts["light"]), itoa(counts["sensitive"]),
+			ways,
+			strings.Join(streams, " "),
+		})
+	}
+	return t
+}
+
+// compareKeys lists the comparison's policy columns present in the runs.
+func (c CompareResult) compareKeys() []string {
+	keys := []string{}
+	for _, p := range CompareSpecs() {
+		if _, ok := c.Calm.ByPolicy[p.Key]; ok {
+			keys = append(keys, p.Key)
+		}
+	}
+	return keys
+}
+
+// Tables renders the full comparison: fairness tables for calm and bursty
+// traffic, and the classifier's verdicts under both.
+func (c CompareResult) Tables() []Table {
+	keys := c.compareKeys()
+	ck := ClusterSpec().Key
+	return []Table{
+		c.Calm.FairnessTable("Compare — fairness, calm traffic (16-core)", keys),
+		c.Burst.FairnessTable("Compare — fairness, bursty traffic (16-core)", keys),
+		c.Calm.ClassificationTable("Compare — LFOC classification, calm traffic", ck),
+		c.Burst.ClassificationTable("Compare — LFOC classification, bursty traffic", ck),
+	}
+}

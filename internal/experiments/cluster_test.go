@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func TestBurstMixes(t *testing.T) {
+	in := []workload.Mix{{ID: 3, Names: []string{"libq", "gcc"}}}
+	out := burstMixes(in)
+	if out[0].ID != 3 {
+		t.Fatalf("burst mix ID %d, want 3", out[0].ID)
+	}
+	for i, n := range out[0].Names {
+		if !strings.HasSuffix(n, bench.BurstSuffix) {
+			t.Errorf("name %d = %q lacks the burst suffix", i, n)
+		}
+		if _, ok := bench.ByName(n); !ok {
+			t.Errorf("burst name %q does not resolve", n)
+		}
+	}
+	if in[0].Names[0] != "libq" {
+		t.Error("burstMixes mutated its input")
+	}
+}
+
+func TestCompareTinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	opt := tinyOpt()
+	opt.MaxWorkloads = 1 // one 16-core mix per traffic variant keeps this a smoke test
+	res := Compare(opt)
+
+	keys := res.compareKeys()
+	if len(keys) != 3 {
+		t.Fatalf("compare keys %v, want baseline + ADAPT_bp32 + LFOC", keys)
+	}
+	for _, runs := range []StudyRuns{res.Calm, res.Burst} {
+		for _, k := range keys {
+			if len(runs.ByPolicy[k]) != 1 {
+				t.Fatalf("%s: %d runs, want 1", k, len(runs.ByPolicy[k]))
+			}
+		}
+		// The clustered runs must actually classify: at least one app not
+		// unclassified, and every quota within the 16-way LLC.
+		for _, run := range runs.ByPolicy[ClusterSpec().Key] {
+			classified := false
+			for _, app := range run.Result.Apps {
+				if app.Cluster != "" && app.Cluster != "unclassified" {
+					classified = true
+				}
+				if app.ClusterWays < 0 || app.ClusterWays > 16 {
+					t.Fatalf("app way quota %d out of range", app.ClusterWays)
+				}
+			}
+			if !classified {
+				t.Fatal("clustered run classified nothing")
+			}
+		}
+		// Unclustered policies must not carry cluster labels.
+		for _, run := range runs.ByPolicy[Baseline.Key] {
+			for _, app := range run.Result.Apps {
+				if app.Cluster != "" {
+					t.Fatalf("baseline run carries cluster label %q", app.Cluster)
+				}
+			}
+		}
+	}
+
+	tables := res.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("%d tables, want 4", len(tables))
+	}
+	// Fairness tables: one row per mix plus the mean row; sane values.
+	for _, tbl := range tables[:2] {
+		if len(tbl.Rows) != 2 {
+			t.Fatalf("%s: %d rows, want mix + mean", tbl.Title, len(tbl.Rows))
+		}
+		if len(tbl.Header) != 1+3*len(keys) {
+			t.Fatalf("%s: %d header cells", tbl.Title, len(tbl.Header))
+		}
+	}
+	for _, tbl := range tables[2:] {
+		if len(tbl.Rows) != 1 {
+			t.Fatalf("%s: %d rows, want 1", tbl.Title, len(tbl.Rows))
+		}
+	}
+}
+
+func TestFairnessTableValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	r := NewRunner(tinyOpt())
+	study, _ := workload.StudyByCores(16)
+	mixes := r.Opt.mixes(study)[:1]
+	runs := r.RunStudyMixes(study, mixes, study.Name, []PolicySpec{Baseline})
+	tbl := runs.FairnessTable("fairness", []string{Baseline.Key})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tbl.Rows))
+	}
+	// Under contention every app slows down, so UF >= 1 and 0 < HWS <= 1.
+	var uf, hws float64
+	if _, err := fmt.Sscanf(tbl.Rows[0][1], "%f", &uf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(tbl.Rows[0][2], "%f", &hws); err != nil {
+		t.Fatal(err)
+	}
+	if uf < 1 {
+		t.Errorf("unfairness %g < 1", uf)
+	}
+	if hws <= 0 || hws > 1.5 {
+		t.Errorf("harmonic weighted speedup %g out of plausible range", hws)
+	}
+}

@@ -102,14 +102,17 @@ func (f Fig3Result) SubstrateTable() Table {
 
 // SubstrateTables renders the full substrate-fidelity record of the
 // 16-core study: the per-app mean waits, the arbiter-wait distribution
-// over the fixed buckets, and the per-bank row-buffer locality from the
-// reservation-timeline row state. paperfig emits all three with -fig 3.
+// over the fixed buckets, the per-bank row-buffer locality from the
+// reservation-timeline row state, and the fairness report (every study
+// gets fairness numbers, not just the clustering comparison). paperfig
+// emits all four with -fig 3.
 func (f Fig3Result) SubstrateTables() []Table {
 	keys := f.substrateKeys()
 	return []Table{
 		f.SubstrateTable(),
 		f.Runs.WaitHistTable("Substrate — arbiter-wait histogram (16-core)", keys),
 		f.Runs.RowStateTable("Substrate — DRAM row-hit rate by bank (16-core)", keys),
+		f.Runs.FairnessTable("Substrate — fairness report (16-core)", keys),
 	}
 }
 

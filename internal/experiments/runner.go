@@ -241,7 +241,15 @@ func (r *Runner) AloneIPC(name string) float64 {
 // after them. Options.Parallelism bounds this harness's in-flight
 // submissions; the scheduler's pool bounds the process.
 func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
-	mixes := r.Opt.mixes(study)
+	return r.RunStudyMixes(study, r.Opt.mixes(study), study.Name, pols)
+}
+
+// RunStudyMixes is RunStudy over an explicit mix list with an explicit
+// disk-cache segment label. It exists so harnesses can run *variants* of a
+// study's mixes — the burst-traffic comparison maps every benchmark name to
+// its "+burst" twin and labels the segment accordingly — while sharing all
+// of RunStudy's dedup and fan-out machinery.
+func (r *Runner) RunStudyMixes(study workload.Study, mixes []workload.Mix, segment string, pols []PolicySpec) StudyRuns {
 	out := StudyRuns{
 		Study:    study,
 		Mixes:    mixes,
@@ -284,7 +292,7 @@ func (r *Runner) RunStudy(study workload.Study, pols []PolicySpec) StudyRuns {
 			Names:   mix.Names,
 			Warmup:  r.Opt.WarmupInstr,
 			Measure: r.Opt.MeasureInstr,
-			Segment: study.Name,
+			Segment: segment,
 		})
 		out.ByPolicy[p.Key][mi] = MixRun{Mix: mix, Result: res}
 	})

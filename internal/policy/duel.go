@@ -178,9 +178,9 @@ func (p *DRRIP) OnMiss(a *cache.Access, set int) {
 	}
 }
 
-// FillDecision always allocates.
+// FillDecision always allocates with the engine's (mask-aware) victim.
 func (p *DRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // OnFill applies the set's policy: leader sets use their dedicated policy,

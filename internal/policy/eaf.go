@@ -123,7 +123,7 @@ func (p *EAF) FillDecision(a *cache.Access, set int) (int, bool) {
 		p.record(a.Block)
 		return -1, false
 	}
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // record notes an address in the filter, clearing it when it reaches

@@ -25,6 +25,13 @@ type Engine struct {
 	valid []bool
 	live  []uint16 // per set: number of valid ways
 	hint  []uint8  // per set: upper bound on the max RRPV of the set
+
+	// masks holds the per-core fill way masks set through SetWayMask
+	// (cache.WayMasker); nil until the first mask arrives, so unclustered
+	// runs pay only one nil check per victim selection. fullMask caches the
+	// all-ways mask used for cores that are still unrestricted.
+	masks    []uint64
+	fullMask uint64
 }
 
 // NewEngine builds an engine for the given cache geometry.
@@ -107,6 +114,87 @@ func (e *Engine) Victim(set int) int {
 		}
 	}
 	e.hint[set] = MaxRRPV
+	return maxW
+}
+
+// SetWayMask implements cache.WayMasker: it restricts which ways core's
+// fills may victimise (bit w = way w allowed; 0 = unrestricted). Every
+// RRIP-family policy embeds Engine, so they all inherit mask support; the
+// clustering manager in internal/cluster is the caller.
+func (e *Engine) SetWayMask(core int, mask uint64) {
+	if e.masks == nil {
+		e.masks = make([]uint64, e.geom.Cores)
+		e.fullMask = (uint64(1) << e.geom.Ways) - 1
+	}
+	e.masks[core] = mask & ((uint64(1) << e.geom.Ways) - 1)
+}
+
+// MaskOf returns the effective fill mask for core: the full-cache mask when
+// the core is unrestricted, its way mask otherwise.
+func (e *Engine) MaskOf(core int) uint64 {
+	if e.masks == nil {
+		return 0
+	}
+	if m := e.masks[core]; m != 0 {
+		return m
+	}
+	return e.fullMask
+}
+
+// VictimFor is Victim with way-mask enforcement: when the filling core has
+// a way mask, the victim is chosen among the masked ways only; otherwise it
+// defers to Victim. Call sites in the concrete policies route every
+// FillDecision through here so partitioning works uniformly across the
+// RRIP family and ADAPT.
+func (e *Engine) VictimFor(a *cache.Access, set int) int {
+	if e.masks == nil {
+		return e.Victim(set)
+	}
+	mask := e.masks[a.Core]
+	if mask == 0 || mask == e.fullMask {
+		return e.Victim(set)
+	}
+	return e.victimMasked(set, mask)
+}
+
+// victimMasked is Victim restricted to the ways in mask: the lowest-indexed
+// invalid masked way if one exists, otherwise the lowest-indexed masked way
+// holding the masked maximum RRPV after aging the masked ways up to distant.
+// Aging touches only the masked partition — the other clusters' re-reference
+// state must not be perturbed by this cluster's misses, that is the whole
+// point of partitioning. The set's hint rises to MaxRRPV (still a valid
+// upper bound). Panics if the chosen way escapes the mask: that invariant is
+// what the enforcement tests pin.
+func (e *Engine) victimMasked(set int, mask uint64) int {
+	ways := e.geom.Ways
+	base := set * ways
+	maxW := -1
+	var maxV uint8
+	for w := 0; w < ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !e.valid[base+w] {
+			maxW = w
+			break
+		}
+		if v := e.rrpv[base+w]; maxW < 0 || v > maxV {
+			maxW, maxV = w, v
+		}
+	}
+	if maxW < 0 || mask&(1<<uint(maxW)) == 0 {
+		panic("policy: masked victim selection escaped the way mask")
+	}
+	if e.valid[base+maxW] {
+		if delta := MaxRRPV - maxV; delta > 0 {
+			for w := 0; w < ways; w++ {
+				if mask&(1<<uint(w)) != 0 {
+					e.rrpv[base+w] += delta
+				}
+			}
+		}
+		e.hint[set] = MaxRRPV
+	}
 	return maxW
 }
 

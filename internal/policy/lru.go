@@ -16,6 +16,7 @@ type LRU struct {
 	stamp []uint64
 	valid []bool
 	clock uint64
+	masks []uint64 // per-core fill way masks (cache.WayMasker); nil = off
 }
 
 // NewLRU builds an LRU policy for the given geometry.
@@ -42,12 +43,29 @@ func (p *LRU) OnHit(a *cache.Access, set, way int) {
 // OnMiss implements cache.ReplacementPolicy (no dueling state in LRU).
 func (p *LRU) OnMiss(a *cache.Access, set int) {}
 
+// SetWayMask implements cache.WayMasker: core's fills victimise only the
+// masked ways (0 = unrestricted).
+func (p *LRU) SetWayMask(core int, mask uint64) {
+	if p.masks == nil {
+		p.masks = make([]uint64, p.geom.Cores)
+	}
+	p.masks[core] = mask & ((uint64(1) << p.geom.Ways) - 1)
+}
+
 // FillDecision always allocates; LRU has no bypass opportunity because every
-// insertion is at MRU (paper §5.3).
+// insertion is at MRU (paper §5.3). The victim is the least recently used
+// way within the filling core's way mask (all ways when unmasked).
 func (p *LRU) FillDecision(a *cache.Access, set int) (int, bool) {
+	mask := ^uint64(0)
+	if p.masks != nil && p.masks[a.Core] != 0 {
+		mask = p.masks[a.Core]
+	}
 	base := set * p.geom.Ways
 	victim, oldest := -1, uint64(0)
 	for w := 0; w < p.geom.Ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
 		i := base + w
 		if !p.valid[i] {
 			return w, true

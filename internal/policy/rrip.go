@@ -29,9 +29,9 @@ func (p *SRRIP) OnHit(a *cache.Access, set, way int) {
 // OnMiss implements cache.ReplacementPolicy.
 func (p *SRRIP) OnMiss(a *cache.Access, set int) {}
 
-// FillDecision always allocates with the engine's victim.
+// FillDecision always allocates with the engine's (mask-aware) victim.
 func (p *SRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // OnFill inserts demand fills at MaxRRPV-1.
@@ -78,9 +78,9 @@ func (p *BRRIP) OnHit(a *cache.Access, set, way int) {
 // OnMiss implements cache.ReplacementPolicy.
 func (p *BRRIP) OnMiss(a *cache.Access, set int) {}
 
-// FillDecision always allocates with the engine's victim.
+// FillDecision always allocates with the engine's (mask-aware) victim.
 func (p *BRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // OnFill inserts demand fills bimodally (1/32 at long, rest at distant).

@@ -148,7 +148,7 @@ func (p *SHiP) FillDecision(a *cache.Access, set int) (int, bool) {
 	if p.bypass && a.Demand && p.trainIdx[set] < 0 && p.predictDistant(a) {
 		return -1, false
 	}
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // OnFill inserts per the SHCT prediction and records training state in

@@ -116,7 +116,7 @@ func (p *TADRRIP) FillDecision(a *cache.Access, set int) (int, bool) {
 	if p.bypass && a.Demand && p.useBRRIPFor(a.Core, set) && !p.eps[a.Core].Fire() {
 		return -1, false
 	}
-	return p.Victim(set), true
+	return p.VictimFor(a, set), true
 }
 
 // OnFill applies the resolved insertion policy.

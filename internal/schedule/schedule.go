@@ -62,7 +62,14 @@ import (
 // carry arbiter-wait histograms plus per-bank row counters. Results for
 // identical configs differ from v3 (the golden corpus was re-pinned in the
 // same commit), so v3 disk-cache segments must strand.
-const KeySchema = "job/v4+" + sim.FingerprintSchema
+//
+// v5: fairness clustering layer (internal/cluster). Config grows the
+// fingerprinted Cluster section and AppResult grows Cluster/ClusterWays
+// fields; serialized Results therefore differ in shape from v4 even for
+// unclustered configs, and the golden corpus was re-pinned in the same
+// commit (field names participate in the result digest), so v4 disk-cache
+// segments must strand.
+const KeySchema = "job/v5+" + sim.FingerprintSchema
 
 // Job is one simulation request: a fully-configured machine (any
 // PolicySpec.Configure mutation already applied), a workload, and the

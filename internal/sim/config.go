@@ -3,14 +3,18 @@
 // VPC arbiter, and DDR2 memory — and runs multi-programmed workloads on it.
 //
 // The simulator is deterministic: given a Config and a set of generators,
-// two runs produce identical results. It is single-goroutine by design;
-// experiment harnesses parallelise across independent systems instead.
+// two runs produce identical results — including under the conservative
+// parallel engine (System.SetParallel), which runs private core
+// hierarchies on real threads while replaying the serial global order for
+// the shared substrate, bit-identically for every thread count. Experiment
+// harnesses additionally parallelise across independent systems.
 package sim
 
 import (
 	"fmt"
 
 	"repro/internal/arbiter"
+	"repro/internal/cluster"
 	"repro/internal/mem"
 	"repro/internal/policy"
 )
@@ -50,6 +54,13 @@ type Config struct {
 
 	// NextLinePrefetch enables the L1 next-line prefetcher of Table 3.
 	NextLinePrefetch bool
+
+	// Cluster configures the optional LFOC-style fairness clustering layer
+	// above the LLC policy (internal/cluster): online app classification
+	// plus per-cluster way partitioning enforced at victim selection. The
+	// zero value disables it. Fingerprinted — clustering changes results,
+	// so clustered and unclustered runs never share memoized entries.
+	Cluster cluster.Config
 
 	// Seed feeds policy monitor sampling and anything else stochastic.
 	Seed uint64
@@ -143,6 +154,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: cache policies must be named")
 	}
 	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cluster.Validate(c.LLCWays); err != nil {
 		return err
 	}
 	return c.Arb.Validate()

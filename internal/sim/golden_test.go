@@ -19,33 +19,42 @@ import (
 // paste the printed "got" digests below, and bump schedule.KeySchema in the
 // same commit so stale disk-cache entries strand instead of mixing with the
 // new semantics. A golden change with no schema bump is a review error.
-// Digest provenance: re-pinned for the timeline-native substrate (row
-// hit/miss decided by the row open at the reserved service time, LLC-side
-// pools sharded per DRAM bank, wait histograms and per-bank row counters in
-// the Result) — a deliberate semantic bump, paired with schedule.KeySchema
-// job/v4 in the same commit.
+// Digest provenance: re-pinned for the fairness clustering layer
+// (internal/cluster) — AppResult grew the Cluster/ClusterWays fields, whose
+// names participate in the result digest, so every fingerprint moved even
+// for unclustered configs; the two cluster-mode rows additionally pin the
+// classifier + way-mask enforcement semantics. A deliberate bump, paired
+// with schedule.KeySchema job/v5 in the same commit.
 var goldenFingerprints = []struct {
-	name   string
-	names  []string
-	policy string
-	want   string
+	name    string
+	names   []string
+	policy  string
+	cluster bool // enable the LFOC clustering layer (epoch 2048)
+	want    string
 }{
 	// Mix A: one app per intensity band (VL compute, M mixed-scan, H cyclic
 	// thrasher, VH stream) — the composition the paper's studies stress.
-	{"mixA/tadrrip", []string{"calc", "mcf", "libq", "lbm"}, "tadrrip",
-		"7a0b2fa66f436a524900755f1a3a743e721cf8a90ff9fe8aba1498a2b3b0d819"},
-	{"mixA/ship", []string{"calc", "mcf", "libq", "lbm"}, "ship",
-		"8a0e412f778b50528eabb36c2ad04c5a236b7ee84052be41a871ab51c448cbc7"},
-	{"mixA/adapt", []string{"calc", "mcf", "libq", "lbm"}, "adapt",
-		"953a1595304b347104af0fdcc88be2ae12500baf453f90774afa4587130269b7"},
+	{"mixA/tadrrip", []string{"calc", "mcf", "libq", "lbm"}, "tadrrip", false,
+		"a6959dc653108c03c062968a54cdc516f6f4f03888f5a578df3bb7dc3ee14bc6"},
+	{"mixA/ship", []string{"calc", "mcf", "libq", "lbm"}, "ship", false,
+		"f78fd6f6e6b3be20a8b925df33181eeb8501c83b3467923751a2c4e56edd4022"},
+	{"mixA/adapt", []string{"calc", "mcf", "libq", "lbm"}, "adapt", false,
+		"fdf5d1353cb0ec27fc569f7bc2bbb27fdf804780566604af272a0d25b5b6386a"},
 	// Mix B: recency-friendly apps against two streams — the case where
 	// discrete insertion policies must protect the friendly working sets.
-	{"mixB/tadrrip", []string{"art", "gcc", "STRM", "milc"}, "tadrrip",
-		"0988fdc0b7243bf65530c0cfb1d7945e25229dfb1ddb606e442ba149d6b9f57f"},
-	{"mixB/ship", []string{"art", "gcc", "STRM", "milc"}, "ship",
-		"a7344225d87a4801ea7be56814a642511e9ff86f01d9e1f75d8fbf846d31cab1"},
-	{"mixB/adapt", []string{"art", "gcc", "STRM", "milc"}, "adapt",
-		"3ac147389b1b0a78130f7d1dfc2105504ae89ebccc5d5ce693e59137c22f5432"},
+	{"mixB/tadrrip", []string{"art", "gcc", "STRM", "milc"}, "tadrrip", false,
+		"2aa1701fb097eccc3b0411b0c83bb83537482bdf56dbc1649156f3db55e00387"},
+	{"mixB/ship", []string{"art", "gcc", "STRM", "milc"}, "ship", false,
+		"f3d92cd3bae543f77a9b9b13eee96a0dea7d7ff18b18295e47d718615258e135"},
+	{"mixB/adapt", []string{"art", "gcc", "STRM", "milc"}, "adapt", false,
+		"2638a7e79309f26b4299a4b4d10749e88cc957f9a16f83daf8374326f3546b9b"},
+	// Both mixes under the LFOC clustering layer: pins the online
+	// classifier's decisions and the masked victim selection, under the
+	// same policy engine the unclustered rows exercise.
+	{"mixA/cluster", []string{"calc", "mcf", "libq", "lbm"}, "tadrrip", true,
+		"f25a8fa6cadc28b82fb6d9faad7f5930876c7c76836444c0ba8e6a7e57aff77f"},
+	{"mixB/cluster", []string{"art", "gcc", "STRM", "milc"}, "tadrrip", true,
+		"e93f60f1a03b864726738530fc0061bcc4d738fc2411eda35b8b9414e4b7616c"},
 }
 
 // goldenConfig is the canonical tiny-fidelity machine of the corpus. Any
@@ -64,7 +73,11 @@ func TestGoldenFingerprints(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel() // the corpus must agree under any -parallel value
-			res := NewFromNames(goldenConfig(len(tc.names), tc.policy), tc.names).Run(20_000, 80_000)
+			cfg := goldenConfig(len(tc.names), tc.policy)
+			if tc.cluster {
+				cfg = clusterTestConfig(len(tc.names), tc.policy)
+			}
+			res := NewFromNames(cfg, tc.names).Run(20_000, 80_000)
 			got := res.Fingerprint()
 			if tc.want == "" {
 				t.Fatalf("golden not set; got %s", got)
@@ -91,7 +104,11 @@ func TestGoldenFingerprintsParallel(t *testing.T) {
 			tc, threads := tc, threads
 			t.Run(fmt.Sprintf("%s/threads=%d", tc.name, threads), func(t *testing.T) {
 				t.Parallel()
-				s := NewFromNames(goldenConfig(len(tc.names), tc.policy), tc.names)
+				cfg := goldenConfig(len(tc.names), tc.policy)
+				if tc.cluster {
+					cfg = clusterTestConfig(len(tc.names), tc.policy)
+				}
+				s := NewFromNames(cfg, tc.names)
 				s.SetParallel(threads)
 				got := s.Run(20_000, 80_000).Fingerprint()
 				if got != tc.want {

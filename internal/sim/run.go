@@ -34,6 +34,13 @@ type AppResult struct {
 	// Means are insensitive to burstiness; the tail mass here is what
 	// LFOC+-style fairness accounting compares across calm/burst mixes.
 	ArbiterWaitHist arbiter.WaitHist
+
+	// Cluster is the app's final classification under the LFOC clustering
+	// layer ("stream", "light", "sensitive"; "unclassified" before the first
+	// epoch) and ClusterWays its final fill-way quota. Empty/zero when
+	// clustering is disabled.
+	Cluster     string
+	ClusterWays int
 }
 
 // Result is one workload run. DRAMRowHitRate, DRAMBanks and the per-app
@@ -266,6 +273,10 @@ func (s *System) Run(warmup, measure uint64) Result {
 		}
 		app.L2MPKI = metrics.MPKI(llcStats.DemandAccesses[i], instr)
 		app.LLCMPKI = metrics.MPKI(llcStats.DemandMisses[i], instr)
+		if m := s.sub.cluster; m != nil {
+			app.Cluster = m.Classes()[i].String()
+			app.ClusterWays = m.WaysOf(i)
+		}
 		res.Apps[i] = app
 	}
 	res.DRAMRowHitRate = s.sub.dram.Stats().RowHitRate()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arbiter"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/mem"
 )
 
@@ -106,6 +107,13 @@ type sharedSubstrate struct {
 	dram *mem.DDR2
 	arb  *arbiter.VPC
 
+	// cluster, when non-nil, is the LFOC-style fairness clustering manager.
+	// It observes every LLC demand access and flips the policy's way masks
+	// at epoch boundaries; both happen inside fetchLLC, i.e. under the
+	// phase-1 global order, which is what keeps clustered runs bit-identical
+	// across thread counts and batch caps.
+	cluster *cluster.Manager
+
 	shards []bankShard
 
 	scratchLLC, scratchWB cache.Access
@@ -174,6 +182,14 @@ func (u *sharedSubstrate) fetchLLC(core int, block, pc uint64, write, demand boo
 	}
 	u.scratchLLC = cache.Access{Block: block, Core: core, PC: pc, Write: write, Demand: demand}
 	rl := u.llc.Access(&u.scratchLLC)
+
+	// Clustering observes demand traffic after the lookup so the current
+	// access is classified under the masks that governed its own fill; an
+	// epoch boundary inside Observe re-partitions for the *next* access.
+	// Still phase 1, still globally ordered.
+	if u.cluster != nil && demand {
+		u.cluster.Observe(core, block, !rl.Hit, start-at)
+	}
 
 	if rl.Hit {
 		return t4, dramTicket{}, dramTicket{}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	_ "repro/internal/core" // registers the "adapt" and "adapt-ins" policies
 	"repro/internal/cpu"
 	"repro/internal/mem"
@@ -72,6 +73,16 @@ func New(cfg Config, gens []trace.Generator) *System {
 		panic(err)
 	}
 
+	var clusterMgr *cluster.Manager
+	if cfg.Cluster.Enabled() {
+		masker, ok := llcPol.(cache.WayMasker)
+		if !ok {
+			panic(fmt.Sprintf("sim: LLC policy %q does not support way masks (cache.WayMasker) required by clustering mode %q",
+				cfg.LLCPolicy, cfg.Cluster.Mode))
+		}
+		clusterMgr = cluster.New(cfg.Cluster, llcGeom, masker.SetWayMask)
+	}
+
 	s := &System{
 		cfg:     cfg,
 		gens:    gens,
@@ -85,8 +96,9 @@ func New(cfg Config, gens []trace.Generator) *System {
 			BlockBytes: cfg.BlockBytes,
 			HitLatency: cfg.LLCLatency,
 		}, llcPol),
-		dram: mem.New(cfg.Mem),
-		arb:  arbiter.New(cfg.Arb),
+		dram:    mem.New(cfg.Mem),
+		arb:     arbiter.New(cfg.Arb),
+		cluster: clusterMgr,
 	}
 	s.sub.shards = newShards(&s.cfg)
 
@@ -163,6 +175,10 @@ func (s *System) DRAM() *mem.DDR2 { return s.sub.dram }
 
 // Arbiter exposes the VPC arbiter.
 func (s *System) Arbiter() *arbiter.VPC { return s.sub.arb }
+
+// Cluster exposes the fairness clustering manager, or nil when clustering
+// is disabled (experiments and tests inspect classifications and masks).
+func (s *System) Cluster() *cluster.Manager { return s.sub.cluster }
 
 // Access implements cpu.MemSystem on the whole System, preserving the
 // method set the public API (repro.System) has always exposed: one memory
