@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-race-sim lint vet fmt-check docs-check bench bench-smoke paperfig ci clean
+.PHONY: all build test test-race test-race-sim lint vet fmt-check docs-check bench bench-smoke allocs-gate paperfig ci clean
 
 all: build
 
@@ -62,6 +62,19 @@ bench-smoke: build
 	cat BENCH_policy_victim.txt
 	$(GO) test -bench 'RunMix16' -benchtime 1x -run '^$$' ./internal/sim > BENCH_sim_substrate.txt || { cat BENCH_sim_substrate.txt; exit 1; }
 	cat BENCH_sim_substrate.txt
+	$(GO) test -bench 'RunMix16$$' -benchmem -benchtime 1x -run '^$$' ./internal/sim > BENCH_hotpath.txt || { cat BENCH_hotpath.txt; exit 1; }
+	$(GO) test -bench 'Victim$$|VictimDistant$$|VictimAllWays$$' -benchmem -benchtime 1x -run '^$$' ./internal/policy >> BENCH_hotpath.txt || { cat BENCH_hotpath.txt; exit 1; }
+	cat BENCH_hotpath.txt
+	$(GO) run ./cmd/benchjson < BENCH_hotpath.txt > BENCH_hotpath.json
+
+# CI allocation gate: the measured simulation loop must be allocation-free
+# at steady state (testing.AllocsPerRun == 0, see internal/sim/alloc_test.go)
+# and the policy/sim hot-path benchmarks must run with -benchmem so a
+# regression shows up as allocs/op in the artifact, not just as time.
+allocs-gate:
+	$(GO) test -run 'TestMeasuredLoopAllocFree' -count=1 -v ./internal/sim
+	$(GO) test -bench 'Victim$$|VictimDistant$$|VictimAllWays$$' -benchmem -benchtime 1x -run '^$$' ./internal/policy
+	$(GO) test -bench 'RunMix16$$' -benchmem -benchtime 1x -run '^$$' ./internal/sim
 
 # Quick-fidelity regeneration of everything (minutes).
 paperfig:

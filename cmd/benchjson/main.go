@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into one machine-readable JSON document on stdout, so CI can upload
+// benchmark numbers as a structured artifact (BENCH_hotpath.json) instead
+// of a text file that downstream tooling has to re-parse.
+//
+// Usage: go test -bench X -benchmem ./pkg | benchjson > BENCH_x.json
+//
+// Each benchmark line becomes one record with the standard testing fields
+// (iterations, ns/op, B/op, allocs/op) plus any custom b.ReportMetric
+// units (for example Minstr/s) under "metrics". Non-benchmark lines are
+// ignored, so piping full `go test` output works. The tool fails if no
+// benchmark lines are found — a renamed benchmark must break CI, not
+// silently produce an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// NsPerOp is absent for benchmarks that only report custom metrics.
+	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
+	BPerOp      *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the document benchjson emits.
+type Artifact struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	Benchmarks  []Record  `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkX-8  10  123 ns/op  4 B/op ..." line;
+// ok is false for anything that isn't a benchmark result.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	// Trim the -GOMAXPROCS suffix the testing package appends.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	rec := Record{Name: name, Iterations: iters}
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		val := v
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = &val
+		case "B/op":
+			rec.BPerOp = &val
+		case "allocs/op":
+			rec.AllocsPerOp = &val
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = val
+		}
+	}
+	return rec, true
+}
+
+func main() {
+	art := Artifact{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			art.Benchmarks = append(art.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}

@@ -36,6 +36,8 @@
 //	-cache-dir DIR   persist simulation results under DIR (.simcache
 //	                 conventionally) so re-runs only simulate what changed
 //	-stats           print scheduler cache/dedup statistics to stderr
+//	-cpuprofile FILE write a pprof CPU profile covering the whole run
+//	-memprofile FILE write a pprof heap snapshot at exit (post-GC live set)
 //
 // All simulations route through the shared internal/schedule scheduler, so
 // a -all run computes the TA-DRRIP baseline grids once even though nearly
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/schedule"
 )
 
@@ -74,6 +77,9 @@ func main() {
 		csvDir    = flag.String("csv", "", "write per-table CSV files into this directory")
 		cacheDir  = flag.String("cache-dir", "", "on-disk simulation cache directory (e.g. "+schedule.DefaultCacheDir+")")
 		stats     = flag.Bool("stats", false, "print scheduler statistics to stderr")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -117,6 +123,13 @@ func main() {
 		})
 		opt = preset
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	sched := schedule.Shared()
 	if *cacheDir != "" {

@@ -9,6 +9,11 @@
 // buffers). State transitions use the usual trace-driven fill-on-miss
 // approximation: a missing block is installed at lookup time, and the caller
 // propagates the miss down the hierarchy afterwards.
+//
+// Metadata is stored struct-of-arrays (see Cache): one dense tags array as
+// the single source of truth plus per-set valid/dirty/prefetch bitsets, the
+// layout of the per-access fast path. The RRIP Engine lives here too so the
+// fast path can call it without interface dispatch (HotProfile).
 package cache
 
 import (
@@ -21,7 +26,7 @@ import (
 // itself exists.
 type Geometry struct {
 	Sets  int // number of sets; must be a power of two
-	Ways  int // associativity
+	Ways  int // associativity; at most 64 (per-set bitsets are one word)
 	Cores int // number of cores (applications) that may access the cache
 }
 
@@ -42,8 +47,8 @@ func (c Config) Validate() error {
 	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
 		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, g.Sets)
 	}
-	if g.Ways <= 0 {
-		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, g.Ways)
+	if g.Ways <= 0 || g.Ways > 64 {
+		return fmt.Errorf("cache %s: ways must be in 1..64 (per-set state is a 64-bit word), got %d", c.Name, g.Ways)
 	}
 	if g.Cores <= 0 {
 		return fmt.Errorf("cache %s: cores must be positive, got %d", c.Name, g.Cores)
@@ -85,6 +90,10 @@ type EvictedLine struct {
 // ADAPT_bp32 and the bypass variants of Figure 6 are expressed. Policies
 // receive every access, including prefetches and write-backs, and are
 // responsible for filtering on a.Demand where the modelled hardware does so.
+//
+// Policies whose per-access callbacks are exactly the RRIP Engine's common
+// behaviour can additionally implement HotPather; the cache then skips the
+// interface for those callbacks (same decisions, no dynamic dispatch).
 type ReplacementPolicy interface {
 	Name() string
 	OnHit(a *Access, set, way int)
@@ -107,8 +116,10 @@ type WayMasker interface {
 	SetWayMask(core int, mask uint64)
 }
 
-// Line is one cache block's bookkeeping state. Replacement metadata lives in
-// the policies, not here.
+// Line is one cache block's bookkeeping state as a value — the view returned
+// by LineAt/Invalidate for tests and hierarchy plumbing. The cache itself
+// does not store Lines; state lives in the struct-of-arrays layout.
+// Replacement metadata lives in the policies, not here.
 type Line struct {
 	Tag      uint64
 	Valid    bool
@@ -184,21 +195,39 @@ func (s *Stats) TotalDemandAccesses() uint64 {
 }
 
 // Cache is a set-associative, write-back, write-allocate cache.
+//
+// State is struct-of-arrays, the dense layout of the ChampSim-style
+// simulators: tags is the one source of truth for the per-way tag-match
+// scan (the innermost loop of the whole simulator), core is a parallel
+// byte array, and valid/dirty/prefetch are per-set 64-bit bitsets (bit w =
+// way w; Ways ≤ 64 is enforced by Config.Validate). A tags entry may be
+// stale for an invalid way, so a match is confirmed against the valid bit.
 type Cache struct {
 	cfg      Config
 	setShift uint // log2(sets)
-	lines    []Line
-	// tags mirrors lines[i].Tag in a dense array so the per-way tag-match
-	// scan — the innermost loop of the simulator — touches half the memory
-	// and performs one comparison per way. A tags entry may be stale for an
-	// invalid line, so a match is confirmed against lines[i].Valid.
-	tags   []uint64
-	policy ReplacementPolicy
-	stats  Stats
+	ways     int  // cfg.Geometry.Ways, hoisted for the hot path
+	tags     []uint64
+	core     []uint8
+	valid    []uint64 // per set: valid-way bitset
+	dirty    []uint64 // per set: dirty-way bitset
+	pref     []uint64 // per set: prefetched-not-yet-demanded bitset
+	policy   ReplacementPolicy
+
+	// hot is the active dispatch profile: zero means every policy callback
+	// goes through the ReplacementPolicy interface (the reference path);
+	// a profile captured from HotPather devirtualizes the flagged
+	// callbacks. hotFull retains the captured profile so the differential
+	// tests can toggle between the two (SetReferenceDispatch).
+	hot     HotProfile
+	hotFull HotProfile
+
+	stats Stats
 }
 
 // New builds a cache. It panics on invalid configuration (construction
 // happens at setup time from vetted configs; failing loudly beats limping).
+// If the policy implements HotPather, its profile is captured here, once,
+// and drives devirtualized dispatch for the flagged callbacks.
 func New(cfg Config, p ReplacementPolicy) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -206,14 +235,27 @@ func New(cfg Config, p ReplacementPolicy) *Cache {
 	if p == nil {
 		panic(fmt.Sprintf("cache %s: nil replacement policy", cfg.Name))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		setShift: uint(bits.TrailingZeros(uint(cfg.Geometry.Sets))),
-		lines:    make([]Line, cfg.Geometry.Sets*cfg.Geometry.Ways),
+		ways:     cfg.Geometry.Ways,
 		tags:     make([]uint64, cfg.Geometry.Sets*cfg.Geometry.Ways),
+		core:     make([]uint8, cfg.Geometry.Sets*cfg.Geometry.Ways),
+		valid:    make([]uint64, cfg.Geometry.Sets),
+		dirty:    make([]uint64, cfg.Geometry.Sets),
+		pref:     make([]uint64, cfg.Geometry.Sets),
 		policy:   p,
 		stats:    newStats(cfg.Geometry.Cores),
 	}
+	if hp, ok := p.(HotPather); ok {
+		prof := hp.Hot()
+		if prof.Engine == nil && (prof.PlainHit || prof.PlainVictim || prof.PlainEvict) {
+			panic(fmt.Sprintf("cache %s: policy %s declared a hot profile without an engine", cfg.Name, p.Name()))
+		}
+		c.hot = prof
+		c.hotFull = prof
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -225,6 +267,20 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 
 // Policy returns the attached replacement policy.
 func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+
+// SetReferenceDispatch toggles the retained reference implementation: with
+// on=true every policy callback goes through the ReplacementPolicy
+// interface even if the policy declared a hot profile. Decisions must be
+// bit-identical either way — that equivalence is exactly what the
+// differential dispatch tests assert by running the same access stream
+// through both modes.
+func (c *Cache) SetReferenceDispatch(on bool) {
+	if on {
+		c.hot = HotProfile{}
+	} else {
+		c.hot = c.hotFull
+	}
+}
 
 // SetOf returns the set index for a block address.
 func (c *Cache) SetOf(block uint64) int {
@@ -241,31 +297,14 @@ func (c *Cache) BlockOf(set int, tag uint64) uint64 {
 	return tag<<c.setShift | uint64(set)
 }
 
-func (c *Cache) line(set, way int) *Line {
-	return &c.lines[set*c.cfg.Geometry.Ways+way]
-}
-
-// setLines returns the set's lines as one subslice, hoisting the index
-// arithmetic and bounds checks out of the per-way tag-match loops — the
-// innermost loops of the whole simulator.
-func (c *Cache) setLines(set int) []Line {
-	base := set * c.cfg.Geometry.Ways
-	return c.lines[base : base+c.cfg.Geometry.Ways]
-}
-
-// setTags is setLines for the dense tag mirror.
-func (c *Cache) setTags(set int) []uint64 {
-	base := set * c.cfg.Geometry.Ways
-	return c.tags[base : base+c.cfg.Geometry.Ways]
-}
-
 // findWay scans one set for a valid line holding tag, returning its way or
-// -1. Stale tag-mirror matches on invalid lines are skipped.
+// -1. Stale tag matches on invalid ways are skipped via the valid bitset.
 func (c *Cache) findWay(set int, tag uint64) int {
-	tags := c.setTags(set)
-	lines := c.setLines(set)
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	vm := c.valid[set]
 	for w := range tags {
-		if tags[w] == tag && lines[w].Valid {
+		if tags[w] == tag && vm&(1<<uint(w)) != 0 {
 			return w
 		}
 	}
@@ -286,6 +325,11 @@ func (c *Cache) Lookup(block uint64) (way int, ok bool) {
 // the block. The returned Result tells the caller whether to recurse into the
 // next level (miss), whether a dirty victim needs writing back, and whether
 // the fill was bypassed.
+//
+// Dispatch follows the cache's hot profile: flagged callbacks run as direct
+// Engine calls (identical state updates in identical order), the rest go
+// through the ReplacementPolicy interface. OnFill is always an interface
+// call — insertion values are the policies' whole contribution.
 func (c *Cache) Access(a *Access) Result {
 	set, tag := c.SetOf(a.Block), c.TagOf(a.Block)
 	c.stats.Accesses[a.Core]++
@@ -294,16 +338,22 @@ func (c *Cache) Access(a *Access) Result {
 	}
 
 	if w := c.findWay(set, tag); w >= 0 {
-		ln := c.line(set, w)
 		res := Result{Hit: true}
-		if a.Demand && ln.Prefetch {
-			ln.Prefetch = false
+		bit := uint64(1) << uint(w)
+		if a.Demand && c.pref[set]&bit != 0 {
+			c.pref[set] &^= bit
 			res.PrefetchHit = true
 		}
 		if a.Write {
-			ln.Dirty = true
+			c.dirty[set] |= bit
 		}
-		c.policy.OnHit(a, set, w)
+		if c.hot.PlainHit {
+			if a.Demand {
+				c.hot.Engine.Promote(set, w)
+			}
+		} else {
+			c.policy.OnHit(a, set, w)
+		}
 		return res
 	}
 
@@ -312,40 +362,57 @@ func (c *Cache) Access(a *Access) Result {
 	if a.Demand {
 		c.stats.DemandMisses[a.Core]++
 	}
-	c.policy.OnMiss(a, set)
-
-	way, allocate := c.policy.FillDecision(a, set)
-	if !allocate {
-		c.stats.Bypasses[a.Core]++
-		return Result{Bypassed: true}
+	if !c.hot.SkipMiss {
+		c.policy.OnMiss(a, set)
 	}
-	if way < 0 || way >= c.cfg.Geometry.Ways {
-		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way))
+
+	var way int
+	if c.hot.PlainVictim {
+		// The engine's victim is in-range by construction; no recheck.
+		way = c.hot.Engine.VictimFor(a, set)
+	} else {
+		var allocate bool
+		way, allocate = c.policy.FillDecision(a, set)
+		if !allocate {
+			c.stats.Bypasses[a.Core]++
+			return Result{Bypassed: true}
+		}
+		if way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way))
+		}
 	}
 
 	res := Result{}
-	victim := c.line(set, way)
-	if victim.Valid {
-		ev := EvictedLine{Block: c.BlockOf(set, victim.Tag), Core: int(victim.Core), Dirty: victim.Dirty}
-		c.policy.OnEvict(set, way, ev)
-		c.stats.Evictions[int(victim.Core)]++
-		if victim.Dirty {
-			c.stats.DirtyEvictions[int(victim.Core)]++
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	if c.valid[set]&bit != 0 {
+		ev := EvictedLine{Block: c.BlockOf(set, c.tags[i]), Core: int(c.core[i]), Dirty: c.dirty[set]&bit != 0}
+		if c.hot.PlainEvict {
+			c.hot.Engine.Invalidate(set, way)
+		} else {
+			c.policy.OnEvict(set, way, ev)
+		}
+		c.stats.Evictions[ev.Core]++
+		if ev.Dirty {
+			c.stats.DirtyEvictions[ev.Core]++
 		}
 		res.EvictedValid = true
 		res.Evicted = ev
 	}
 
-	*victim = Line{
-		Tag:      tag,
-		Valid:    true,
-		Dirty:    a.Write,
-		Core:     uint8(a.Core),
-		Prefetch: !a.Demand && !a.Writeback,
+	c.tags[i] = tag
+	c.core[i] = uint8(a.Core)
+	c.valid[set] |= bit
+	if a.Write {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
 	}
-	c.setTags(set)[way] = tag
-	if victim.Prefetch {
+	if !a.Demand && !a.Writeback {
+		c.pref[set] |= bit
 		c.stats.PrefetchFills[a.Core]++
+	} else {
+		c.pref[set] &^= bit
 	}
 	c.policy.OnFill(a, set, way)
 	return res
@@ -361,8 +428,14 @@ func (c *Cache) WritebackNoAllocate(a *Access) (hit bool) {
 	set, tag := c.SetOf(a.Block), c.TagOf(a.Block)
 	c.stats.Accesses[a.Core]++
 	if w := c.findWay(set, tag); w >= 0 {
-		c.line(set, w).Dirty = true
-		c.policy.OnHit(a, set, w)
+		c.dirty[set] |= uint64(1) << uint(w)
+		if c.hot.PlainHit {
+			if a.Demand {
+				c.hot.Engine.Promote(set, w)
+			}
+		} else {
+			c.policy.OnHit(a, set, w)
+		}
 		return true
 	}
 	c.stats.Misses[a.Core]++
@@ -374,11 +447,15 @@ func (c *Cache) WritebackNoAllocate(a *Access) (hit bool) {
 func (c *Cache) Invalidate(block uint64) (was Line, ok bool) {
 	set, tag := c.SetOf(block), c.TagOf(block)
 	if w := c.findWay(set, tag); w >= 0 {
-		ln := c.line(set, w)
-		was = *ln
-		c.policy.OnEvict(set, w, EvictedLine{Block: block, Core: int(ln.Core), Dirty: ln.Dirty})
-		*ln = Line{}
-		c.setTags(set)[w] = 0
+		was = c.LineAt(set, w)
+		c.policy.OnEvict(set, w, EvictedLine{Block: block, Core: int(was.Core), Dirty: was.Dirty})
+		i := set*c.ways + w
+		bit := uint64(1) << uint(w)
+		c.tags[i] = 0
+		c.core[i] = 0
+		c.valid[set] &^= bit
+		c.dirty[set] &^= bit
+		c.pref[set] &^= bit
 		return was, true
 	}
 	return Line{}, false
@@ -388,9 +465,11 @@ func (c *Cache) Invalidate(block uint64) (was Line, ok bool) {
 // analyses and tests.
 func (c *Cache) OccupancyByCore() []int {
 	occ := make([]int, c.cfg.Geometry.Cores)
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			occ[int(c.lines[i].Core)]++
+	for set := range c.valid {
+		base := set * c.ways
+		for m := c.valid[set]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			occ[int(c.core[base+w])]++
 		}
 	}
 	return occ
@@ -399,15 +478,21 @@ func (c *Cache) OccupancyByCore() []int {
 // ValidLines counts valid lines in the whole cache.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
 
 // LineAt exposes a copy of the line at (set, way) for tests and debugging.
 func (c *Cache) LineAt(set, way int) Line {
-	return *c.line(set, way)
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	return Line{
+		Tag:      c.tags[i],
+		Valid:    c.valid[set]&bit != 0,
+		Dirty:    c.dirty[set]&bit != 0,
+		Core:     c.core[i],
+		Prefetch: c.pref[set]&bit != 0,
+	}
 }

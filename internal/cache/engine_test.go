@@ -1,9 +1,8 @@
-package policy
+package cache
 
 import (
 	"testing"
 
-	"repro/internal/cache"
 	"repro/internal/rng"
 )
 
@@ -11,12 +10,12 @@ import (
 // verbatim as the semantic reference: lowest-indexed invalid way, else scan
 // for MaxRRPV and age the whole set by +1 rounds until one appears.
 type refEngine struct {
-	geom  cache.Geometry
+	geom  Geometry
 	rrpv  []uint8
 	valid []bool
 }
 
-func newRefEngine(g cache.Geometry) refEngine {
+func newRefEngine(g Geometry) refEngine {
 	n := g.Sets * g.Ways
 	return refEngine{geom: g, rrpv: make([]uint8, n), valid: make([]bool, n)}
 }
@@ -58,7 +57,7 @@ func (e *refEngine) victim(set int) int {
 // step. This is the guard that the single-scan rewrite (and its live/hint
 // summaries) changed performance, not semantics.
 func TestVictimMatchesReference(t *testing.T) {
-	for _, g := range []cache.Geometry{
+	for _, g := range []Geometry{
 		{Sets: 16, Ways: 4, Cores: 2},
 		{Sets: 64, Ways: 16, Cores: 8},
 		{Sets: 8, Ways: 3, Cores: 1}, // odd associativity
@@ -94,7 +93,7 @@ func TestVictimMatchesReference(t *testing.T) {
 			}
 			base := set * g.Ways
 			for w := 0; w < g.Ways; w++ {
-				if e.valid[base+w] && e.rrpv[base+w] != ref.rrpv[base+w] {
+				if e.valid[set]&(1<<uint(w)) != 0 && e.rrpv[base+w] != ref.rrpv[base+w] {
 					t.Fatalf("geom %+v step %d: rrpv[%d,%d] = %d, reference %d",
 						g, step, set, w, e.rrpv[base+w], ref.rrpv[base+w])
 				}
@@ -105,7 +104,7 @@ func TestVictimMatchesReference(t *testing.T) {
 
 // TestVictimConsumesInvalidWaysFirst pins the fill-before-evict behaviour.
 func TestVictimConsumesInvalidWaysFirst(t *testing.T) {
-	g := cache.Geometry{Sets: 4, Ways: 4, Cores: 1}
+	g := Geometry{Sets: 4, Ways: 4, Cores: 1}
 	e := NewEngine(g)
 	for w := 0; w < 4; w++ {
 		if got := e.Victim(0); got != w {

@@ -251,6 +251,15 @@ func (a *ADAPT) OnEvict(set, way int, ev cache.EvictedLine) {
 	a.Invalidate(set, way)
 }
 
+// Hot implements cache.HotPather. ADAPT's OnHit and OnMiss feed the
+// footprint monitor, so both stay on the interface path; OnEvict only
+// invalidates, and ADAPT_ins (no bypass) always allocates at the engine's
+// victim, so those two devirtualize. ADAPT_bp32's FillDecision can decline
+// a fill, keeping it on the interface path.
+func (a *ADAPT) Hot() cache.HotProfile {
+	return cache.HotProfile{Engine: &a.Engine, PlainVictim: !a.cfg.Bypass, PlainEvict: true}
+}
+
 func init() {
 	policy.Register("adapt", func(g cache.Geometry, opt policy.Options) cache.ReplacementPolicy {
 		return NewADAPT(configFromOptions(g, opt, true, false))

@@ -75,10 +75,20 @@ type Core struct {
 	slack   uint64 // sub-cycle accumulation of non-mem instructions
 
 	// Ring buffer of incomplete loads, oldest first. Fixed capacity
-	// (MaxOutstanding) keeps the hot path allocation-free.
+	// (MaxOutstanding rounded up to a power of two, so the ring index wraps
+	// with a mask instead of hardware division) keeps the hot path
+	// allocation-free; loadCount is still bounded by maxOut, never by the
+	// ring length.
 	loads     []inflight
+	loadMask  int
 	loadHead  int
 	loadCount int
+
+	// Hot copies of Config fields read every Step, hoisted so the loop
+	// doesn't re-load and re-convert them through c.cfg.
+	id     int
+	rob    uint64
+	maxOut int
 
 	// op is the reusable decode buffer; keeping it on the Core (rather
 	// than the stack) avoids a heap allocation per Step, since the
@@ -100,7 +110,17 @@ func New(cfg Config, gen trace.Generator, mem MemSystem) *Core {
 	if gen == nil || mem == nil {
 		panic("cpu: nil generator or memory system")
 	}
-	c := &Core{cfg: cfg, gen: gen, mem: mem, loads: make([]inflight, cfg.MaxOutstanding)}
+	ringLen := 1 << bits.Len(uint(cfg.MaxOutstanding-1)) // next power of two
+	c := &Core{
+		cfg:      cfg,
+		gen:      gen,
+		mem:      mem,
+		loads:    make([]inflight, ringLen),
+		loadMask: ringLen - 1,
+		id:       cfg.ID,
+		rob:      uint64(cfg.ROB),
+		maxOut:   cfg.MaxOutstanding,
+	}
 	if w := uint64(cfg.Width); w&(w-1) == 0 {
 		c.widthPow2 = true
 		c.widthShift = uint(bits.TrailingZeros64(w))
@@ -114,13 +134,13 @@ func (c *Core) oldest() inflight { return c.loads[c.loadHead] }
 
 func (c *Core) popLoad() inflight {
 	e := c.loads[c.loadHead]
-	c.loadHead = (c.loadHead + 1) % len(c.loads)
+	c.loadHead = (c.loadHead + 1) & c.loadMask
 	c.loadCount--
 	return e
 }
 
 func (c *Core) pushLoad(e inflight) {
-	c.loads[(c.loadHead+c.loadCount)%len(c.loads)] = e
+	c.loads[(c.loadHead+c.loadCount)&c.loadMask] = e
 	c.loadCount++
 }
 
@@ -182,14 +202,14 @@ func (c *Core) Step() uint64 {
 	c.reap()
 
 	// Structural stalls: ROB window and MSHR occupancy.
-	for c.loadCount > 0 && c.retired-c.oldest().instr >= uint64(c.cfg.ROB) {
+	for c.loadCount > 0 && c.retired-c.oldest().instr >= c.rob {
 		c.drainOldest()
 	}
-	for c.loadCount >= c.cfg.MaxOutstanding {
+	for c.loadCount >= c.maxOut {
 		c.drainOldest()
 	}
 
-	done := c.mem.Access(c.cfg.ID, c.clock, op.Addr, op.Write, op.PC)
+	done := c.mem.Access(c.id, c.clock, op.Addr, op.Write, op.PC)
 	c.memAccesses++
 	if op.Write {
 		c.storeCount++

@@ -2,201 +2,15 @@ package policy
 
 import "repro/internal/cache"
 
-// Engine is the shared mechanical core of every RRIP-family policy: 2-bit
-// re-reference prediction values per line, hit promotion to 0, and victim
-// selection by searching for MaxRRPV with aging. Policies embed it and
-// differ only in the insertion value they choose per fill. The ADAPT policy
-// in internal/core builds on it too, which is why it is exported.
-//
-// The engine also tracks line validity (learned from OnFill/OnEvict
-// callbacks) so that invalid ways are consumed before any valid line is
-// victimised, matching real hardware fill behaviour.
-//
-// Victim selection is a single bucket scan per call. Two per-set summaries
-// keep it that way under churn: live counts the valid ways (a full set skips
-// the invalid-way scan entirely), and hint is an upper bound on the set's
-// maximum RRPV, letting the scan stop at the first way that reaches the
-// bound — in the common post-aging state, the first distant line. The
-// summaries are hints, never semantics: decisions are bit-identical to the
-// original retry/aging formulation (TestVictimMatchesReference).
-type Engine struct {
-	geom  cache.Geometry
-	rrpv  []uint8
-	valid []bool
-	live  []uint16 // per set: number of valid ways
-	hint  []uint8  // per set: upper bound on the max RRPV of the set
-
-	// masks holds the per-core fill way masks set through SetWayMask
-	// (cache.WayMasker); nil until the first mask arrives, so unclustered
-	// runs pay only one nil check per victim selection. fullMask caches the
-	// all-ways mask used for cores that are still unrestricted.
-	masks    []uint64
-	fullMask uint64
-}
+// Engine is the shared mechanical core of every RRIP-family policy. It
+// moved to internal/cache so the cache's devirtualized fast path can call
+// Promote/VictimFor/Invalidate as concrete methods (see cache.HotProfile);
+// this alias keeps the policy package's public API — policies still embed
+// policy.Engine and internal/core still builds ADAPT on it.
+type Engine = cache.Engine
 
 // NewEngine builds an engine for the given cache geometry.
-func NewEngine(g cache.Geometry) Engine {
-	n := g.Sets * g.Ways
-	return Engine{
-		geom:  g,
-		rrpv:  make([]uint8, n),
-		valid: make([]bool, n),
-		live:  make([]uint16, g.Sets),
-		hint:  make([]uint8, g.Sets),
-	}
-}
-
-func (e *Engine) idx(set, way int) int { return set*e.geom.Ways + way }
-
-// Promote sets the line to near-immediate re-reference (RRPV 0). The set's
-// max-RRPV hint is left alone: it is an upper bound, and lowering one value
-// cannot raise the maximum.
-func (e *Engine) Promote(set, way int) { e.rrpv[e.idx(set, way)] = 0 }
-
-// SetRRPV records the insertion value of a fresh fill and marks it valid.
-func (e *Engine) SetRRPV(set, way int, v uint8) {
-	i := e.idx(set, way)
-	e.rrpv[i] = v
-	if !e.valid[i] {
-		e.valid[i] = true
-		e.live[set]++
-	}
-	if v > e.hint[set] {
-		e.hint[set] = v
-	}
-}
-
-// Invalidate marks a way empty (called from OnEvict).
-func (e *Engine) Invalidate(set, way int) {
-	i := e.idx(set, way)
-	if e.valid[i] {
-		e.valid[i] = false
-		e.live[set]--
-	}
-}
-
-// RRPVAt exposes a line's current RRPV (tests and diagnostics).
-func (e *Engine) RRPVAt(set, way int) uint8 { return e.rrpv[e.idx(set, way)] }
-
-// Victim returns the way to replace in set: the lowest-indexed invalid way
-// if one exists, otherwise the lowest-indexed way holding the set's maximum
-// RRPV, after aging every line up to the distant value — the same line the
-// classical "scan for MaxRRPV, age, retry" loop converges on, found in one
-// pass. Aging adds MaxRRPV-max to every way at once, which is exactly what
-// the retry loop's repeated +1 rounds amount to (no line can pass MaxRRPV,
-// because none exceeds the set maximum).
-func (e *Engine) Victim(set int) int {
-	ways := e.geom.Ways
-	base := set * ways
-	if int(e.live[set]) < ways {
-		for w := 0; w < ways; w++ {
-			if !e.valid[base+w] {
-				return w
-			}
-		}
-	}
-	bound := e.hint[set]
-	maxW := 0
-	maxV := e.rrpv[base]
-	if maxV < bound {
-		for w := 1; w < ways; w++ {
-			if v := e.rrpv[base+w]; v > maxV {
-				maxW, maxV = w, v
-				if v == bound {
-					break // nothing in the set can exceed the hint
-				}
-			}
-		}
-	}
-	if delta := MaxRRPV - maxV; delta > 0 {
-		for w := 0; w < ways; w++ {
-			e.rrpv[base+w] += delta
-		}
-	}
-	e.hint[set] = MaxRRPV
-	return maxW
-}
-
-// SetWayMask implements cache.WayMasker: it restricts which ways core's
-// fills may victimise (bit w = way w allowed; 0 = unrestricted). Every
-// RRIP-family policy embeds Engine, so they all inherit mask support; the
-// clustering manager in internal/cluster is the caller.
-func (e *Engine) SetWayMask(core int, mask uint64) {
-	if e.masks == nil {
-		e.masks = make([]uint64, e.geom.Cores)
-		e.fullMask = (uint64(1) << e.geom.Ways) - 1
-	}
-	e.masks[core] = mask & ((uint64(1) << e.geom.Ways) - 1)
-}
-
-// MaskOf returns the effective fill mask for core: the full-cache mask when
-// the core is unrestricted, its way mask otherwise.
-func (e *Engine) MaskOf(core int) uint64 {
-	if e.masks == nil {
-		return 0
-	}
-	if m := e.masks[core]; m != 0 {
-		return m
-	}
-	return e.fullMask
-}
-
-// VictimFor is Victim with way-mask enforcement: when the filling core has
-// a way mask, the victim is chosen among the masked ways only; otherwise it
-// defers to Victim. Call sites in the concrete policies route every
-// FillDecision through here so partitioning works uniformly across the
-// RRIP family and ADAPT.
-func (e *Engine) VictimFor(a *cache.Access, set int) int {
-	if e.masks == nil {
-		return e.Victim(set)
-	}
-	mask := e.masks[a.Core]
-	if mask == 0 || mask == e.fullMask {
-		return e.Victim(set)
-	}
-	return e.victimMasked(set, mask)
-}
-
-// victimMasked is Victim restricted to the ways in mask: the lowest-indexed
-// invalid masked way if one exists, otherwise the lowest-indexed masked way
-// holding the masked maximum RRPV after aging the masked ways up to distant.
-// Aging touches only the masked partition — the other clusters' re-reference
-// state must not be perturbed by this cluster's misses, that is the whole
-// point of partitioning. The set's hint rises to MaxRRPV (still a valid
-// upper bound). Panics if the chosen way escapes the mask: that invariant is
-// what the enforcement tests pin.
-func (e *Engine) victimMasked(set int, mask uint64) int {
-	ways := e.geom.Ways
-	base := set * ways
-	maxW := -1
-	var maxV uint8
-	for w := 0; w < ways; w++ {
-		if mask&(1<<uint(w)) == 0 {
-			continue
-		}
-		if !e.valid[base+w] {
-			maxW = w
-			break
-		}
-		if v := e.rrpv[base+w]; maxW < 0 || v > maxV {
-			maxW, maxV = w, v
-		}
-	}
-	if maxW < 0 || mask&(1<<uint(maxW)) == 0 {
-		panic("policy: masked victim selection escaped the way mask")
-	}
-	if e.valid[base+maxW] {
-		if delta := MaxRRPV - maxV; delta > 0 {
-			for w := 0; w < ways; w++ {
-				if mask&(1<<uint(w)) != 0 {
-					e.rrpv[base+w] += delta
-				}
-			}
-		}
-		e.hint[set] = MaxRRPV
-	}
-	return maxW
-}
+func NewEngine(g cache.Geometry) Engine { return cache.NewEngine(g) }
 
 // NonDemandRRPV is the shared insertion rule for prefetch and write-back
 // fills (see the package comment and DESIGN.md §5).

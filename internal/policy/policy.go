@@ -43,8 +43,9 @@ const (
 	DefaultSD = 64
 )
 
-// MaxRRPV is the saturating re-reference prediction value (2-bit RRPV).
-const MaxRRPV = 3
+// MaxRRPV is the saturating re-reference prediction value (2-bit RRPV),
+// re-exported from internal/cache where the Engine now lives.
+const MaxRRPV = cache.MaxRRPV
 
 // Non-demand insertion values shared by every RRIP-family policy in this
 // repository: next-line prefetches land one step from distant (they are

@@ -37,6 +37,7 @@ type SHiP struct {
 	shct     []uint8
 	trainIdx []int32     // per set: index into training state, -1 if unsampled
 	train    []shipTrain // per (training set, way): fill bookkeeping
+	ways     int         // geometry associativity (trainSlot stride)
 	bypass   bool
 
 	// Prediction counters for tests and the Figure 6 analysis.
@@ -86,6 +87,7 @@ func NewSHiP(g cache.Geometry, opt Options) *SHiP {
 		shct:     shct,
 		trainIdx: trainIdx,
 		train:    make([]shipTrain, n*g.Ways),
+		ways:     g.Ways,
 		bypass:   opt.BypassDistant,
 	}
 }
@@ -108,7 +110,7 @@ func (p *SHiP) trainSlot(set, way int) int {
 	if ti < 0 {
 		return -1
 	}
-	return int(ti)*p.geom.Ways + way
+	return int(ti)*p.ways + way
 }
 
 // OnHit promotes demand hits and trains the SHCT positively in sampled sets.

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestMeasuredLoopAllocFree is the CI allocation gate: once a simulation has
+// reached steady state (warm-up run, deferred substrate ops drained, every
+// queue and timeline at its high-water capacity), continuing the measured
+// loop must allocate nothing. This pins the zero-alloc hot path end to end —
+// core stepping, trace generation, the L1/L2/LLC SoA tag paths, the
+// devirtualized policy dispatch, MSHR/WB pools, arbiter and DRAM timelines,
+// and the event-loop frontier — and fails on any regression (a per-step
+// closure, a forgotten scratch slice, an append that outgrows its steady
+// state).
+func TestMeasuredLoopAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate runs the full mix; skipped in -short")
+	}
+	mix := []string{
+		"calc", "mcf", "libq", "gcc",
+		"lbm", "art", "eon", "gob",
+	}
+	cfg := quickConfig(len(mix))
+	s := NewFromNames(cfg, mix)
+
+	// Reach steady state: warm caches, learned policies, pools and
+	// timelines grown to their high-water marks.
+	s.Run(5_000, 20_000)
+
+	target := uint64(0)
+	for _, c := range s.cores {
+		if r := c.Retired(); r > target {
+			target = r
+		}
+	}
+	const step = 2_000
+	allocs := testing.AllocsPerRun(5, func() {
+		target += step
+		s.runUntilRetired(target, nil, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("measured loop allocated %.1f times per %d-instruction window; want 0", allocs, step)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/arbiter"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -69,56 +71,78 @@ func (r Result) IPCs() []float64 {
 // total and deterministic, which is what makes clock ties (frequent, since
 // cores start aligned) batch-invariant.
 //
+// Each entry packs both sort fields into one word, clock<<shift | index
+// (the same packing the parallel engine's order gate uses): one load and
+// one integer compare per heap comparison instead of two loads and up to
+// two compares, on what profiles show is the serial loop's hottest
+// non-simulation code. shift is sized to the core count, so the clock keeps
+// at least 54 bits of headroom at any realistic scale. Keys are unique
+// (the index bits differ), so strict < is a total order identical to the
+// (clock, idx) pair order.
+//
 // The loop's access pattern never needs push or pop: the root core runs
 // until it stops being the minimum, so each batch is one root-key update
 // plus one sift-down, and the runner-up — the batch limit — is read
-// directly off the root's children.
+// directly off the root's children. The System reuses one frontier across
+// runUntilRetired calls (reset keeps the backing array), keeping the
+// measured loop allocation-free.
 type frontier struct {
-	clock []uint64
-	idx   []int
+	key   []uint64 // clock<<shift | core index
+	shift uint     // index bits
+	mask  uint64   // low shift bits
 }
 
-// lessAt compares heap slots a and b under (clock, idx) order.
-func (h *frontier) lessAt(a, b int) bool {
-	return h.clock[a] < h.clock[b] ||
-		(h.clock[a] == h.clock[b] && h.idx[a] < h.idx[b])
+// reset empties the heap (retaining capacity) and sizes the index field for
+// n cores.
+func (h *frontier) reset(n int) {
+	h.key = h.key[:0]
+	h.shift = uint(bits.Len(uint(n - 1)))
+	h.mask = uint64(1)<<h.shift - 1
 }
 
 // add appends a core before the first build; build establishes the heap.
 func (h *frontier) add(clock uint64, idx int) {
-	h.clock = append(h.clock, clock)
-	h.idx = append(h.idx, idx)
+	h.key = append(h.key, clock<<h.shift|uint64(idx))
 }
 
 func (h *frontier) build() {
-	for i := len(h.clock)/2 - 1; i >= 0; i-- {
+	for i := len(h.key)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
 }
 
+// rootIdx returns the core index at the heap root.
+func (h *frontier) rootIdx() int { return int(h.key[0] & h.mask) }
+
+// clockAt returns the clock stored in heap slot i.
+func (h *frontier) clockAt(i int) uint64 { return h.key[i] >> h.shift }
+
+// idxAt returns the core index stored in heap slot i.
+func (h *frontier) idxAt(i int) int { return int(h.key[i] & h.mask) }
+
 // updateRoot replaces the root's clock (it only ever grows) and restores
 // heap order.
 func (h *frontier) updateRoot(clock uint64) {
-	h.clock[0] = clock
+	h.key[0] = clock<<h.shift | h.key[0]&h.mask
 	h.siftDown(0)
 }
 
 func (h *frontier) siftDown(i int) {
-	n := len(h.clock)
+	n := len(h.key)
+	k := h.key
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && h.lessAt(l, m) {
+		if l < n && k[l] < k[m] {
 			m = l
 		}
-		if r < n && h.lessAt(r, m) {
+		if r < n && k[r] < k[m] {
 			m = r
 		}
 		if m == i {
 			return
 		}
-		h.clock[i], h.clock[m] = h.clock[m], h.clock[i]
-		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		k[i], k[m] = k[m], k[i]
 		i = m
 	}
 }
@@ -127,9 +151,9 @@ func (h *frontier) siftDown(i int) {
 // always one of the root's children — or -1 for a single-core frontier.
 func (h *frontier) runnerUp() int {
 	switch {
-	case len(h.clock) < 2:
+	case len(h.key) < 2:
 		return -1
-	case len(h.clock) == 2 || h.lessAt(1, 2):
+	case len(h.key) == 2 || h.key[1] < h.key[2]:
 		return 1
 	default:
 		return 2
@@ -184,9 +208,19 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 
 	// Participants: cores still short of target at entry. Cores that cross
 	// the target mid-run stay in the frontier (they keep executing to
-	// preserve contention) until every participant has crossed.
-	h := &frontier{}
-	done := make([]bool, n)
+	// preserve contention) until every participant has crossed. The frontier
+	// and done scratch live on the System so steady-state calls (one per
+	// measurement window, or per step of the allocation gate) allocate
+	// nothing.
+	h := &s.frontier
+	h.reset(n)
+	if len(s.doneScratch) < n {
+		s.doneScratch = make([]bool, n)
+	}
+	done := s.doneScratch[:n]
+	for i := range done {
+		done[i] = false
+	}
 	remaining := 0
 	for i, c := range s.cores {
 		if c.Retired() >= target {
@@ -201,11 +235,11 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 
 	const noLimit = ^uint64(0)
 	for remaining > 0 {
-		best := h.idx[0]
+		best := h.rootIdx()
 		limit, yieldAtTie := noLimit, false
 		if ru := h.runnerUp(); ru >= 0 {
-			limit = h.clock[ru]
-			yieldAtTie = h.idx[ru] < best
+			limit = h.clockAt(ru)
+			yieldAtTie = h.idxAt(ru) < best
 		}
 		retireAt := uint64(0)
 		if !done[best] {

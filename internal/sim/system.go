@@ -34,6 +34,12 @@ type System struct {
 	// threads is the intra-simulation thread count; <=1 = the serial
 	// reference loop. See SetParallel and Config.Threads.
 	threads int
+
+	// frontier and doneScratch are the serial event loop's reusable state
+	// (see runUntilRetired): hoisted here so that steady-state loop entries
+	// perform no allocation, the invariant the CI allocs gate enforces.
+	frontier    frontier
+	doneScratch []bool
 }
 
 // corePath is one core's private memory hierarchy: its L1 and L2 caches,
