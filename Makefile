@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-race-sim lint vet fmt-check docs-check bench bench-smoke allocs-gate paperfig ci clean
+.PHONY: all build test test-race test-race-sim lint vet fmt-check docs-check bench bench-smoke serve-smoke allocs-gate paperfig ci clean
 
 all: build
 
@@ -66,6 +66,12 @@ bench-smoke: build
 	$(GO) test -bench 'Victim$$|VictimDistant$$|VictimAllWays$$' -benchmem -benchtime 1x -run '^$$' ./internal/policy >> BENCH_hotpath.txt || { cat BENCH_hotpath.txt; exit 1; }
 	cat BENCH_hotpath.txt
 	$(GO) run ./cmd/benchjson < BENCH_hotpath.txt > BENCH_hotpath.json
+	$(GO) test -race -run 'TestServeLoad' -count=1 -v ./internal/serve
+
+# End-to-end smoke of the serving layer: paperfigd up, `paperfig -server`
+# output byte-identical to a local run, SIGTERM drains in-flight work.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 # CI allocation gate: the measured simulation loop must be allocation-free
 # at steady state (testing.AllocsPerRun == 0, see internal/sim/alloc_test.go)

@@ -137,9 +137,11 @@ func (d *diskCache) read(key string) (sim.Result, bool) {
 	return r, ok
 }
 
-// write appends the entry to its segment file as one JSON line and indexes
-// it. The open-append-close per write keeps no fds captive between runs;
-// one append per executed simulation is noise next to the simulation.
+// write appends the entry to its segment file as one JSON line and — only
+// once the append has fully succeeded — indexes it. Indexing first would
+// let the process serve a result it believes is durable but that vanishes
+// on restart. The open-append-close per write keeps no fds captive between
+// runs; one append per executed simulation is noise next to the simulation.
 func (d *diskCache) write(key string, j Job, r sim.Result) error {
 	e := segEntry{
 		Schema:  KeySchema,
@@ -163,12 +165,15 @@ func (d *diskCache) write(key string, j Job, r sim.Result) error {
 	}
 	_, werr := f.Write(data)
 	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
 
 	d.mu.Lock()
 	d.index[key] = r
 	d.mu.Unlock()
-	if werr != nil {
-		return werr
-	}
-	return cerr
+	return nil
 }

@@ -16,12 +16,20 @@
 //   - Content-addressed job keys: Job.Key() digests the fully-configured
 //     sim.Config (via sim.Config.Fingerprint), the workload names and the
 //     warm-up/measure budgets. Keys are valid across processes.
-//   - Singleflight execution: concurrent harnesses requesting the same key
+//   - Singleflight execution: concurrent callers requesting the same key
 //     share one execution; latecomers block on the leader's result.
-//   - A two-tier result store: an in-memory map for intra-process reuse and
-//     an optional on-disk JSON cache (SetCacheDir, conventionally
-//     .simcache/) versioned by the key schema, so cmd/paperfig re-runs are
-//     incremental across invocations.
+//   - A two-tier result store: a byte-budgeted in-memory LRU for
+//     intra-process reuse and an optional on-disk JSON cache (SetCacheDir,
+//     conventionally .simcache/) versioned by the key schema, so
+//     cmd/paperfig re-runs are incremental across invocations.
+//
+// The scheduler is serving-grade: internal/serve runs it inside the
+// long-lived paperfigd server, so flights execute on their own goroutine
+// and always settle — a panicking job becomes an error result (never a
+// wedged key or a leaked pool width), and any caller, including the one
+// that created the flight, can abandon the wait through RunContext's
+// context without killing the execution. Abandoned flights run to
+// completion and populate the store for the next requester.
 //
 // Runs whose value lives outside the sim.Result — e.g. Table 4's
 // footprint-sampler hooks — use RunUncached, which still shares the pool
@@ -29,12 +37,17 @@
 package schedule
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
+	"unsafe"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -71,22 +84,28 @@ import (
 // segments must strand.
 const KeySchema = "job/v5+" + sim.FingerprintSchema
 
+// DefaultMemBudget is the default byte budget of the in-memory result
+// tier. Results are small (a few hundred bytes per app), so this admits
+// hundreds of thousands of entries before evicting — far beyond any CLI
+// run — while bounding a long-lived server's growth.
+const DefaultMemBudget int64 = 256 << 20
+
 // Job is one simulation request: a fully-configured machine (any
 // PolicySpec.Configure mutation already applied), a workload, and the
 // instruction budgets. The scheduler assumes — and the simulator
 // guarantees — that a Job's Result is a pure function of these fields.
 type Job struct {
-	Config  sim.Config
-	Names   []string // one benchmark per core, sim.NewFromNames order
-	Warmup  uint64
-	Measure uint64
+	Config  sim.Config `json:"config"`
+	Names   []string   `json:"names"` // one benchmark per core, sim.NewFromNames order
+	Warmup  uint64     `json:"warmup"`
+	Measure uint64     `json:"measure"`
 
 	// Segment names the disk-tier segment file this job's result is
 	// appended to — conventionally the study ("24-core", "128-core") or
 	// "solo" for baselines. It groups storage only and is deliberately NOT
 	// part of Key(): the same job requested under two segments is still one
 	// simulation, and either segment's stored copy satisfies both.
-	Segment string
+	Segment string `json:"segment,omitempty"`
 }
 
 // Key returns the job's content-addressed identity.
@@ -115,7 +134,7 @@ func (j Job) width() int {
 // Stats counts scheduler traffic. Hits()>0 across two harnesses proves the
 // grids overlap and the dedup machinery is earning its keep.
 type Stats struct {
-	// Submitted counts every Run/RunUncached call.
+	// Submitted counts every Run/RunContext/RunUncached call.
 	Submitted uint64 `json:"submitted"`
 	// Executed counts jobs that actually simulated (cacheable path).
 	Executed uint64 `json:"executed"`
@@ -129,6 +148,14 @@ type Stats struct {
 	// DiskErrors counts disk-tier reads/writes that failed and were
 	// treated as misses (the cache is best-effort).
 	DiskErrors uint64 `json:"disk_errors"`
+	// Evictions counts in-memory results dropped by the LRU byte budget.
+	Evictions uint64 `json:"evictions"`
+	// Cancelled counts RunContext callers that abandoned a flight (or the
+	// queue) because their context ended before the result settled.
+	Cancelled uint64 `json:"cancelled"`
+	// Panics counts jobs whose execution panicked; each settles its flight
+	// with a *PanicError instead of wedging latecomers on the key.
+	Panics uint64 `json:"panics"`
 }
 
 // Hits is the total number of simulations avoided.
@@ -141,13 +168,74 @@ func (s Stats) String() string {
 	if s.DiskErrors > 0 {
 		out += fmt.Sprintf(" disk-errors=%d", s.DiskErrors)
 	}
+	if s.Evictions > 0 {
+		out += fmt.Sprintf(" evictions=%d", s.Evictions)
+	}
+	if s.Cancelled > 0 {
+		out += fmt.Sprintf(" cancelled=%d", s.Cancelled)
+	}
+	if s.Panics > 0 {
+		out += fmt.Sprintf(" panics=%d", s.Panics)
+	}
 	return out
 }
 
-// flight is one in-progress execution that latecomers wait on.
+// Gauges is a point-in-time view of the scheduler's moving parts — the
+// live quantities (as opposed to the monotone Stats counters) that
+// paperfigd exposes at /statsz and /metrics.
+type Gauges struct {
+	// InflightFlights is the number of keys currently executing or queued
+	// as singleflight leaders.
+	InflightFlights int `json:"inflight_flights"`
+	// PoolCap / PoolBusy are the worker pool's total and claimed width.
+	PoolCap  int `json:"pool_cap"`
+	PoolBusy int `json:"pool_busy"`
+	// QueueDepth / QueuedWidth count jobs (and their summed width) waiting
+	// for pool admission.
+	QueueDepth  int `json:"queue_depth"`
+	QueuedWidth int `json:"queued_width"`
+	// MemEntries / MemBytes / MemBudget describe the in-memory LRU tier.
+	MemEntries int   `json:"mem_entries"`
+	MemBytes   int64 `json:"mem_bytes"`
+	MemBudget  int64 `json:"mem_budget"`
+}
+
+// PanicError is the error a panicking job settles its flight with. Every
+// waiter on the key — and any later RunContext caller racing the
+// settlement — receives it instead of deadlocking on a flight that will
+// never close; Run re-panics it to preserve the CLI's crash-on-bug
+// behaviour.
+type PanicError struct {
+	// Key is the job's content-addressed identity.
+	Key string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error summarises the panic; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	k := e.Key
+	if len(k) > 12 {
+		k = k[:12]
+	}
+	return fmt.Sprintf("schedule: job %s panicked: %v", k, e.Value)
+}
+
+// flight is one in-progress execution that waiters block on. done is
+// closed exactly once, after res/err are final; an err != nil flight is
+// never stored in either cache tier.
 type flight struct {
 	done chan struct{}
 	res  sim.Result
+	err  error
+}
+
+// poolWaiter is one job queued for pool admission.
+type poolWaiter struct {
+	n     int
+	ready chan struct{}
 }
 
 // widthPool is the scheduler's weighted worker budget. Jobs are no longer
@@ -156,17 +244,19 @@ type flight struct {
 // count alone would oversubscribe GOMAXPROCS by the mean thread count.
 // The pool therefore grants each job its width in workers; outer sim-level
 // fan-out and inner per-sim threads spend one shared budget.
+//
+// Admission is strict FIFO: a wide job at the head of the queue is never
+// starved by a stream of narrow latecomers (the serving workload makes
+// that a real possibility, not a theoretical one).
 type widthPool struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	cap   int
-	avail int
+	mu      sync.Mutex
+	cap     int
+	avail   int // may go negative transiently after a shrinking resize
+	waiters []*poolWaiter
 }
 
 func newWidthPool(capacity int) *widthPool {
-	p := &widthPool{cap: capacity, avail: capacity}
-	p.cond = sync.NewCond(&p.mu)
-	return p
+	return &widthPool{cap: capacity, avail: capacity}
 }
 
 // acquire blocks until n workers are free and claims them, returning the
@@ -177,23 +267,66 @@ func (p *widthPool) acquire(n int) int {
 	if n < 1 {
 		n = 1
 	}
+	p.mu.Lock()
 	if n > p.cap {
 		n = p.cap
 	}
-	p.mu.Lock()
-	for p.avail < n {
-		p.cond.Wait()
+	if len(p.waiters) == 0 && p.avail >= n {
+		p.avail -= n
+		p.mu.Unlock()
+		return n
 	}
-	p.avail -= n
+	w := &poolWaiter{n: n, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
 	p.mu.Unlock()
+	<-w.ready
 	return n
 }
 
 func (p *widthPool) release(n int) {
 	p.mu.Lock()
 	p.avail += n
+	p.grantLocked()
 	p.mu.Unlock()
-	p.cond.Broadcast()
+}
+
+// grantLocked admits queued jobs from the head while they fit. Called with
+// p.mu held.
+func (p *widthPool) grantLocked() {
+	for len(p.waiters) > 0 && p.avail >= p.waiters[0].n {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.avail -= w.n
+		close(w.ready)
+	}
+}
+
+// resize changes the pool capacity in place. Growing admits queued jobs
+// immediately; shrinking lets in-flight jobs finish (avail goes negative
+// until enough width is released) without cancelling anything.
+func (p *widthPool) resize(capacity int) {
+	p.mu.Lock()
+	p.avail += capacity - p.cap
+	p.cap = capacity
+	p.grantLocked()
+	p.mu.Unlock()
+}
+
+// gauges reports (cap, busy, queued jobs, queued width).
+func (p *widthPool) gauges() (capacity, busy, queued, queuedWidth int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.waiters {
+		queuedWidth += w.n
+	}
+	return p.cap, p.cap - p.avail, len(p.waiters), queuedWidth
+}
+
+// memEntry is one in-memory cached result plus its LRU accounting.
+type memEntry struct {
+	key   string
+	res   sim.Result
+	bytes int64
 }
 
 // Scheduler is a bounded, memoizing simulation executor. The zero value is
@@ -201,28 +334,36 @@ func (p *widthPool) release(n int) {
 type Scheduler struct {
 	pool *widthPool // weighted worker budget; see widthPool
 
-	// runFn executes one job; tests substitute it to observe scheduling
-	// behaviour without paying for real simulations.
-	runFn func(Job) sim.Result
-
 	mu       sync.Mutex
-	mem      map[string]sim.Result
+	runFn    func(Job) sim.Result // execution seam; see SetRunFn
+	memIndex map[string]*list.Element
+	memLRU   *list.List // front = most recently used; values are *memEntry
+	memBytes int64
+	memMax   int64 // <= 0 means unlimited
 	inflight map[string]*flight
 	disk     *diskCache
-	stats    Stats
+	// diskCounted remembers how many load errors per cache root have been
+	// folded into Stats.DiskErrors, so re-opening the same directory (the
+	// server does this after every store-maintenance pass) adds only new
+	// corruption instead of double-counting the old.
+	diskCounted map[string]uint64
+	stats       Stats
 }
 
 // New builds a scheduler with the given worker-pool size (<=0 means
-// GOMAXPROCS).
+// GOMAXPROCS) and the default in-memory byte budget.
 func New(workers int) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Scheduler{
-		pool:     newWidthPool(workers),
-		runFn:    Job.run,
-		mem:      map[string]sim.Result{},
-		inflight: map[string]*flight{},
+		pool:        newWidthPool(workers),
+		runFn:       Job.run,
+		memIndex:    map[string]*list.Element{},
+		memLRU:      list.New(),
+		memMax:      DefaultMemBudget,
+		inflight:    map[string]*flight{},
+		diskCounted: map[string]uint64{},
 	}
 }
 
@@ -233,7 +374,8 @@ var (
 
 // Shared returns the process-wide scheduler all harnesses use by default,
 // sized to GOMAXPROCS. Sharing it is what lets independent harnesses (and
-// independent tests in one binary) reuse each other's baseline runs.
+// independent tests in one binary) reuse each other's baseline runs — and
+// what lets paperfigd coalesce table requests from many clients.
 func Shared() *Scheduler {
 	sharedOnce.Do(func() { shared = New(0) })
 	return shared
@@ -243,7 +385,9 @@ func Shared() *Scheduler {
 // result tier. Entries live in append-only segment files under
 // dir/<key-schema-slug>/<segment>.seg, so a schema bump naturally strands
 // old entries rather than misreading them. Opening the cache scans every
-// segment into memory; unusable lines are counted as DiskErrors.
+// segment into memory; unusable lines are counted as DiskErrors once per
+// root — re-opening the same directory (e.g. after MaintainStore) only
+// adds corruption that appeared since.
 func (s *Scheduler) SetCacheDir(dir string) error {
 	var d *diskCache
 	if dir != "" {
@@ -255,10 +399,44 @@ func (s *Scheduler) SetCacheDir(dir string) error {
 	s.mu.Lock()
 	s.disk = d
 	if d != nil {
-		s.stats.DiskErrors += d.loadErrors()
+		load := d.loadErrors()
+		if prev := s.diskCounted[dir]; load > prev {
+			s.stats.DiskErrors += load - prev
+			s.diskCounted[dir] = load
+		}
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// SetMemBudget caps the in-memory result tier at max bytes (<=0 removes
+// the cap). Least-recently-used entries are evicted once the tier
+// overflows; evicted keys fall back to the disk tier or re-execute.
+func (s *Scheduler) SetMemBudget(max int64) {
+	s.mu.Lock()
+	s.memMax = max
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// SetPoolSize changes the worker-pool width at runtime (<=0 means
+// GOMAXPROCS). Shrinking never cancels running jobs; it just delays new
+// admissions until enough width drains.
+func (s *Scheduler) SetPoolSize(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.pool.resize(workers)
+}
+
+// SetRunFn replaces the function that executes one job. It is a seam for
+// tests and load harnesses (internal/serve's load test injects a stub so
+// thousands of requests need no real simulations); production code leaves
+// the default in place.
+func (s *Scheduler) SetRunFn(fn func(Job) sim.Result) {
+	s.mu.Lock()
+	s.runFn = fn
+	s.mu.Unlock()
 }
 
 // Stats returns a snapshot of the counters.
@@ -268,78 +446,248 @@ func (s *Scheduler) Stats() Stats {
 	return s.stats
 }
 
+// Gauges returns a snapshot of the scheduler's live state.
+func (s *Scheduler) Gauges() Gauges {
+	capacity, busy, queued, queuedWidth := s.pool.gauges()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Gauges{
+		InflightFlights: len(s.inflight),
+		PoolCap:         capacity,
+		PoolBusy:        busy,
+		QueueDepth:      queued,
+		QueuedWidth:     queuedWidth,
+		MemEntries:      s.memLRU.Len(),
+		MemBytes:        s.memBytes,
+		MemBudget:       s.memMax,
+	}
+}
+
+// WaitIdle blocks until no flight is in progress and the pool is fully
+// drained, or the context ends. paperfigd calls it after the HTTP server
+// has drained so abandoned flights (whose requesters disconnected) finish
+// and persist before the process exits.
+func (s *Scheduler) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		flights := len(s.inflight)
+		s.mu.Unlock()
+		_, busy, queued, _ := s.pool.gauges()
+		if flights == 0 && busy == 0 && queued == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // Run executes the job or returns its memoized result. Concurrent calls
 // with the same key share one execution. The returned Result's Apps slice
-// is a private copy; callers may keep or modify it freely.
+// is a private copy; callers may keep or modify it freely. If the job's
+// execution panicked, Run re-panics with the *PanicError — the flight is
+// settled first, so no other caller is wedged by the crash.
 func (s *Scheduler) Run(j Job) sim.Result {
+	res, err := s.RunContext(context.Background(), j)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run with serving semantics: the caller may abandon the
+// wait through ctx without affecting the execution. The first caller for a
+// key starts a flight on its own goroutine; the flight always runs to
+// completion (and populates the store) even if every waiter leaves, so a
+// disconnecting client never kills work another client is about to ask
+// for. Errors are either the caller's ctx error or the flight's
+// *PanicError.
+func (s *Scheduler) RunContext(ctx context.Context, j Job) (sim.Result, error) {
 	key := j.Key()
 
 	s.mu.Lock()
 	s.stats.Submitted++
-	if r, ok := s.mem[key]; ok {
+	if r, ok := s.memGetLocked(key); ok {
 		s.stats.MemHits++
 		s.mu.Unlock()
-		return cloneResult(r)
+		return cloneResult(r), nil
 	}
-	if f, ok := s.inflight[key]; ok {
+	f, joined := s.inflight[key]
+	if joined {
 		s.stats.Shared++
-		s.mu.Unlock()
-		<-f.done
-		return cloneResult(f.res)
+	} else {
+		f = &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		go s.lead(key, j, f, s.disk)
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	disk := s.disk
 	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return sim.Result{}, f.err
+		}
+		return cloneResult(f.res), nil
+	case <-ctx.Done():
+		s.count(func(st *Stats) { st.Cancelled++ })
+		return sim.Result{}, ctx.Err()
+	}
+}
+
+// lead resolves one flight on its own goroutine: disk probe, pool-bounded
+// execution, disk write-back, settlement. The deferred settle is the
+// panic-safety contract — no matter what the job does, waiters are woken
+// and the key is released, with a panic converted into the flight's error.
+func (s *Scheduler) lead(key string, j Job, f *flight, disk *diskCache) {
+	var (
+		res  sim.Result
+		err  error
+		bump func(*Stats)
+	)
+	defer func() {
+		if p := recover(); p != nil {
+			// A panic past execute (e.g. in the disk layer) still settles.
+			err = &PanicError{Key: key, Value: p, Stack: string(debug.Stack())}
+			bump = func(st *Stats) { st.Panics++ }
+		}
+		s.settle(key, f, res, err, bump)
+	}()
 
 	if disk != nil {
 		if r, ok := disk.read(key); ok {
-			s.settle(key, f, r, func(st *Stats) { st.DiskHits++ })
-			return cloneResult(r)
+			res, bump = r, func(st *Stats) { st.DiskHits++ }
+			return
 		}
 	}
 
-	granted := s.pool.acquire(j.width())
-	res := s.runFn(j)
-	s.pool.release(granted)
-
+	res, err = s.execute(key, j)
+	if err != nil {
+		bump = func(st *Stats) { st.Panics++ }
+		return
+	}
+	bump = func(st *Stats) { st.Executed++ }
 	if disk != nil {
-		if err := disk.write(key, j, res); err != nil {
+		if werr := disk.write(key, j, res); werr != nil {
 			s.count(func(st *Stats) { st.DiskErrors++ })
 		}
 	}
-	s.settle(key, f, res, func(st *Stats) { st.Executed++ })
-	return cloneResult(res)
+}
+
+// execute runs the job under the pool. The deferred release returns the
+// granted width even when runFn panics; the panic itself is converted to a
+// *PanicError so callers and flights see an error, not a crash.
+func (s *Scheduler) execute(key string, j Job) (res sim.Result, err error) {
+	granted := s.pool.acquire(j.width())
+	defer s.pool.release(granted)
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Key: key, Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	s.mu.Lock()
+	fn := s.runFn
+	s.mu.Unlock()
+	return fn(j), nil
 }
 
 // RunUncached executes the job through the worker pool without touching
 // the store or the singleflight table. It exists for jobs whose outputs
 // escape through config hooks: memoizing them would return a Result while
-// silently skipping the side effects the caller actually wants.
+// silently skipping the side effects the caller actually wants. A
+// panicking job releases its pool width, is counted in Stats.Panics, and
+// re-panics as *PanicError on the caller's goroutine.
 func (s *Scheduler) RunUncached(j Job) sim.Result {
 	s.count(func(st *Stats) { st.Submitted++; st.Uncached++ })
-	granted := s.pool.acquire(j.width())
-	res := s.runFn(j)
-	s.pool.release(granted)
+	res, err := s.execute(j.Key(), j)
+	if err != nil {
+		s.count(func(st *Stats) { st.Panics++ })
+		panic(err)
+	}
 	return res
 }
 
-// settle publishes a finished flight: store the result, wake waiters,
-// bump a counter.
-func (s *Scheduler) settle(key string, f *flight, r sim.Result, bump func(*Stats)) {
+// settle publishes a finished flight: store the result (success only),
+// wake waiters, bump a counter.
+func (s *Scheduler) settle(key string, f *flight, r sim.Result, err error, bump func(*Stats)) {
 	s.mu.Lock()
-	s.mem[key] = r
+	if err == nil {
+		s.memPutLocked(key, r)
+	}
 	delete(s.inflight, key)
-	bump(&s.stats)
+	if bump != nil {
+		bump(&s.stats)
+	}
 	s.mu.Unlock()
 	f.res = r
+	f.err = err
 	close(f.done)
+}
+
+// memGetLocked looks the key up in the LRU tier and marks it recently
+// used. Called with s.mu held.
+func (s *Scheduler) memGetLocked(key string) (sim.Result, bool) {
+	el, ok := s.memIndex[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	s.memLRU.MoveToFront(el)
+	return el.Value.(*memEntry).res, true
+}
+
+// memPutLocked inserts (or refreshes) a result and evicts past the byte
+// budget. Called with s.mu held.
+func (s *Scheduler) memPutLocked(key string, r sim.Result) {
+	if el, ok := s.memIndex[key]; ok {
+		e := el.Value.(*memEntry)
+		s.memBytes -= e.bytes
+		e.res = r
+		e.bytes = resultBytes(key, r)
+		s.memBytes += e.bytes
+		s.memLRU.MoveToFront(el)
+	} else {
+		e := &memEntry{key: key, res: r, bytes: resultBytes(key, r)}
+		s.memIndex[key] = s.memLRU.PushFront(e)
+		s.memBytes += e.bytes
+	}
+	s.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the tier fits its
+// budget, always keeping the most recent entry. Called with s.mu held.
+func (s *Scheduler) evictLocked() {
+	if s.memMax <= 0 {
+		return
+	}
+	for s.memBytes > s.memMax && s.memLRU.Len() > 1 {
+		el := s.memLRU.Back()
+		e := el.Value.(*memEntry)
+		s.memLRU.Remove(el)
+		delete(s.memIndex, e.key)
+		s.memBytes -= e.bytes
+		s.stats.Evictions++
+	}
 }
 
 func (s *Scheduler) count(bump func(*Stats)) {
 	s.mu.Lock()
 	bump(&s.stats)
 	s.mu.Unlock()
+}
+
+// resultBytes estimates a stored entry's memory footprint: the Result
+// shell, its slices' backing arrays, per-app strings, and the key.
+func resultBytes(key string, r sim.Result) int64 {
+	n := int64(unsafe.Sizeof(r)) + int64(len(key))
+	n += int64(len(r.Apps)) * int64(unsafe.Sizeof(sim.AppResult{}))
+	for i := range r.Apps {
+		n += int64(len(r.Apps[i].Cluster))
+	}
+	n += int64(len(r.DRAMBanks)) * int64(unsafe.Sizeof(mem.BankStats{}))
+	return n
 }
 
 // cloneResult copies the Apps and DRAMBanks slices so callers cannot alias

@@ -1,7 +1,9 @@
 package schedule
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -468,5 +470,470 @@ func TestSlugify(t *testing.T) {
 		if got := slugify(in); got != want {
 			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestPanickingJobSettlesFlight is the regression test for the serving
+// bugfix: a panicking runFn must (a) not wedge latecomers blocked on the
+// flight, (b) release its pool width, (c) surface as *PanicError on every
+// caller, and (d) be counted in Stats.Panics. Before the fix, the flight
+// never settled and every latecomer on the key blocked forever.
+func TestPanickingJobSettlesFlight(t *testing.T) {
+	s := New(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.runFn = func(j Job) sim.Result {
+		close(entered)
+		<-release
+		panic("simulator bug")
+	}
+	j := testJob(1)
+	j.Config.Threads = 2 // full pool width: a leak would wedge the next job
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(context.Background(), j)
+		leaderErr <- err
+	}()
+	<-entered
+
+	// A latecomer joins the in-flight key, then the job panics.
+	latecomerErr := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(context.Background(), j)
+		latecomerErr <- err
+	}()
+	for s.Stats().Shared < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for i, ch := range []chan error{leaderErr, latecomerErr} {
+		select {
+		case err := <-ch:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("caller %d: err = %v, want *PanicError", i, err)
+			}
+			if pe.Key != j.Key() || pe.Stack == "" {
+				t.Fatalf("caller %d: incomplete PanicError: %+v", i, pe)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("caller %d wedged on the panicked flight", i)
+		}
+	}
+	if st := s.Stats(); st.Panics != 1 || st.Executed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The key must not be poisoned and the pool width must be back: a
+	// full-width job on the same key runs (and succeeds) afterwards.
+	s.runFn = fakeRun(11)
+	done := make(chan sim.Result, 1)
+	go func() { done <- s.Run(j) }()
+	select {
+	case r := <-done:
+		if r.Apps[0].Cycles != 11 {
+			t.Fatalf("post-panic run returned %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool width leaked: post-panic job never ran")
+	}
+	if g := s.Gauges(); g.PoolBusy != 0 || g.InflightFlights != 0 {
+		t.Fatalf("gauges not drained: %+v", g)
+	}
+}
+
+// TestRunRepanicsOnPanickedJob pins the legacy CLI contract: Run (the
+// no-context wrapper) re-panics a job panic as *PanicError after the
+// flight settles, preserving crash-on-bug behaviour without wedging
+// anyone else.
+func TestRunRepanicsOnPanickedJob(t *testing.T) {
+	s := New(2)
+	s.runFn = func(j Job) sim.Result { panic("boom") }
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Run did not re-panic")
+		}
+		if _, ok := p.(*PanicError); !ok {
+			t.Fatalf("Run panicked with %T, want *PanicError", p)
+		}
+	}()
+	s.Run(testJob(1))
+}
+
+// TestRunUncachedReleasesWidthOnPanic: the uncached path must also return
+// its width and count the panic.
+func TestRunUncachedReleasesWidthOnPanic(t *testing.T) {
+	s := New(2)
+	s.runFn = func(j Job) sim.Result { panic("boom") }
+	j := testJob(1)
+	j.Config.Threads = 2
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RunUncached did not re-panic")
+			}
+		}()
+		s.RunUncached(j)
+	}()
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.runFn = fakeRun(5)
+	done := make(chan struct{})
+	go func() { s.RunUncached(j); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool width leaked on uncached panic")
+	}
+}
+
+// TestRunContextWaiterAbandons: cancelling a waiter's context abandons the
+// wait without killing the flight — the leader completes, the result is
+// cached, and the abandonment is counted.
+func TestRunContextWaiterAbandons(t *testing.T) {
+	s := New(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.runFn = func(j Job) sim.Result {
+		close(entered)
+		<-release
+		return fakeRun(21)(j)
+	}
+	j := testJob(1)
+
+	leaderRes := make(chan sim.Result, 1)
+	go func() { leaderRes <- s.Run(j) }()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(ctx, j)
+		waiterErr <- err
+	}()
+	for s.Stats().Shared < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+
+	// The flight is still alive; releasing it completes the leader and
+	// caches the result.
+	close(release)
+	select {
+	case r := <-leaderRes:
+		if r.Apps[0].Cycles != 21 {
+			t.Fatalf("leader result = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never completed")
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Run(j).Apps[0].Cycles != 21 {
+		t.Fatal("result of abandoned flight was not cached")
+	}
+	if st := s.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAbandonedLeaderFlightCompletes: even the caller that created the
+// flight can walk away; the execution finishes on its own goroutine and
+// the next requester gets a mem hit, not a re-execution.
+func TestAbandonedLeaderFlightCompletes(t *testing.T) {
+	s := New(2)
+	var executions atomic.Uint64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		close(entered)
+		<-release
+		return fakeRun(33)(j)
+	}
+	j := testJob(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(ctx, j)
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+	if err := s.WaitIdle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Run(j).Apps[0].Cycles != 33 {
+		t.Fatal("abandoned leader's result lost")
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("executed %d times, want 1", executions.Load())
+	}
+}
+
+// TestMemBudgetEvictsLRU: the in-memory tier evicts least-recently-used
+// entries past its byte budget; evicted keys re-execute (or disk-hit), and
+// recently-touched keys survive.
+func TestMemBudgetEvictsLRU(t *testing.T) {
+	s := New(2)
+	var executions atomic.Uint64
+	s.runFn = func(j Job) sim.Result {
+		executions.Add(1)
+		return fakeRun(j.Config.Seed)(j)
+	}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = testJob(uint64(i + 1))
+	}
+	perEntry := resultBytes(jobs[0].Key(), fakeRun(1)(jobs[0]))
+	s.SetMemBudget(3 * perEntry) // room for ~3 entries
+
+	for _, j := range jobs {
+		s.Run(j)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 3-entry budget: %+v", st)
+	}
+	if g := s.Gauges(); g.MemBytes > g.MemBudget {
+		t.Fatalf("mem tier over budget: %+v", g)
+	}
+
+	// The most recent job must still be resident ...
+	before := executions.Load()
+	if s.Run(jobs[len(jobs)-1]).Apps[0].Cycles != jobs[len(jobs)-1].Config.Seed {
+		t.Fatal("wrong result for resident key")
+	}
+	if executions.Load() != before {
+		t.Fatal("most-recent key was evicted")
+	}
+	// ... and the oldest must re-execute (no disk tier configured).
+	if s.Run(jobs[0]).Apps[0].Cycles != jobs[0].Config.Seed {
+		t.Fatal("wrong result for evicted key")
+	}
+	if executions.Load() != before+1 {
+		t.Fatal("evicted key did not re-execute")
+	}
+}
+
+// TestDiskWriteFailureNotIndexed is the regression test for the
+// serve-a-phantom bug: when the segment append fails, the entry must NOT
+// land in the disk index (the process would serve a result it believes is
+// durable but that vanishes on restart). The failed write is counted as a
+// DiskError; the honest in-memory tier still serves the result.
+func TestDiskWriteFailureNotIndexed(t *testing.T) {
+	dir := t.TempDir()
+	s := New(2)
+	s.runFn = fakeRun(3)
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Make the append fail (works even as root, unlike chmod): a directory
+	// squats on the segment path, so the O_CREATE open errors.
+	segPath := filepath.Join(dir, schemaSlug(), "misc.seg")
+	if err := os.Mkdir(segPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	j := testJob(1)
+	if r := s.Run(j); r.Apps[0].Cycles != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+	st := s.Stats()
+	if st.DiskErrors != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.mu.Lock()
+	d := s.disk
+	s.mu.Unlock()
+	if _, ok := d.read(j.Key()); ok {
+		t.Fatal("failed append was indexed as durable")
+	}
+	// Restart simulation: a fresh scheduler on the same dir must re-execute.
+	if err := os.Remove(segPath); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(2)
+	var executions atomic.Uint64
+	s2.runFn = func(j Job) sim.Result { executions.Add(1); return fakeRun(3)(j) }
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(j)
+	if executions.Load() != 1 {
+		t.Fatal("phantom entry served after restart")
+	}
+}
+
+// TestSetCacheDirReopenDoesNotDoubleCount: re-opening the same cache dir
+// (paperfigd does this after every maintenance pass) must not re-add the
+// same load errors to Stats.DiskErrors.
+func TestSetCacheDirReopenDoesNotDoubleCount(t *testing.T) {
+	dir := t.TempDir()
+	s := New(2)
+	s.runFn = fakeRun(1)
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(testJob(1))
+	// Corrupt the segment tail, then open the dir twice more.
+	path := filepath.Join(dir, schemaSlug(), "misc.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{torn")
+	f.Close()
+
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("first reopen: DiskErrors = %d, want 1", st.DiskErrors)
+	}
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("second reopen double-counted: DiskErrors = %d, want 1", st.DiskErrors)
+	}
+}
+
+// TestSetPoolSize: growing the pool admits queued jobs; shrinking drains
+// without cancelling.
+func TestSetPoolSize(t *testing.T) {
+	s := New(1)
+	var inFlight, maxInFlight atomic.Int64
+	s.runFn = func(j Job) sim.Result {
+		now := inFlight.Add(1)
+		for {
+			max := maxInFlight.Load()
+			if now <= max || maxInFlight.CompareAndSwap(max, now) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return fakeRun(1)(j)
+	}
+	s.SetPoolSize(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.RunUncached(testJob(uint64(200 + i)))
+		}(i)
+	}
+	wg.Wait()
+	if got := maxInFlight.Load(); got > 4 {
+		t.Fatalf("resized pool admitted %d jobs, cap 4", got)
+	}
+	if g := s.Gauges(); g.PoolCap != 4 || g.PoolBusy != 0 {
+		t.Fatalf("gauges = %+v", g)
+	}
+}
+
+// TestMaintainStoreCompactsAndEvicts covers the three store-maintenance
+// passes: stale-schema eviction, duplicate-key compaction, and the size
+// cap — and proves a compacted store still serves every surviving key.
+func TestMaintainStoreCompactsAndEvicts(t *testing.T) {
+	dir := t.TempDir()
+
+	// A stale schema dir that must be evicted wholesale.
+	stale := filepath.Join(dir, "job-v0+stale-schema")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(stale, "old.seg"), []byte("{}\n"), 0o644)
+	// A non-schema dir that must survive.
+	keep := filepath.Join(dir, "unrelated")
+	if err := os.MkdirAll(keep, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate appends for one key (mem-evicted re-executions do this).
+	s := New(2)
+	s.runFn = fakeRun(7)
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	j1, j2 := testJob(1), testJob(2)
+	s.Run(j1)
+	s.Run(j2)
+	s.mu.Lock()
+	d := s.disk
+	s.mu.Unlock()
+	if err := d.write(j1.Key(), j1, fakeRun(7)(j1)); err != nil {
+		t.Fatal(err) // deliberate duplicate line
+	}
+
+	rep, err := MaintainStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SchemasEvicted) != 1 || rep.SchemasEvicted[0] != "job-v0+stale-schema" {
+		t.Fatalf("schemas evicted = %v", rep.SchemasEvicted)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale schema dir survived")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("non-schema dir was evicted")
+	}
+	if rep.SegmentsCompacted != 1 || rep.LinesDropped != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.BytesAfter >= rep.BytesBefore {
+		t.Fatalf("compaction did not shrink the store: %+v", rep)
+	}
+
+	// The compacted store still serves both keys.
+	s2 := New(2)
+	s2.runFn = func(Job) sim.Result { t.Fatal("compacted store lost an entry"); return sim.Result{} }
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run(j1)
+	s2.Run(j2)
+	if st := s2.Stats(); st.DiskHits != 2 || st.DiskErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Size cap: force eviction of everything (1 byte budget).
+	rep2, err := MaintainStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SegmentsEvicted == 0 || rep2.BytesAfter > 1 {
+		t.Fatalf("size cap did not evict: %+v", rep2)
+	}
+}
+
+// TestWaitIdleImmediate: an idle scheduler reports idle without blocking.
+func TestWaitIdleImmediate(t *testing.T) {
+	s := New(2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
