@@ -66,6 +66,9 @@ bench-smoke: build
 	$(GO) test -bench 'Victim$$|VictimDistant$$|VictimAllWays$$' -benchmem -benchtime 1x -run '^$$' ./internal/policy >> BENCH_hotpath.txt || { cat BENCH_hotpath.txt; exit 1; }
 	cat BENCH_hotpath.txt
 	$(GO) run ./cmd/benchjson < BENCH_hotpath.txt > BENCH_hotpath.json
+	$(GO) test -bench 'BenchmarkNext' -benchmem -benchtime 200000x -run '^$$' ./internal/trace > BENCH_tracegen.txt || { cat BENCH_tracegen.txt; exit 1; }
+	cat BENCH_tracegen.txt
+	$(GO) run ./cmd/benchjson < BENCH_tracegen.txt > BENCH_tracegen.json
 	$(GO) test -race -run 'TestServeLoad' -count=1 -v ./internal/serve
 
 # End-to-end smoke of the serving layer: paperfigd up, `paperfig -server`

@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -87,6 +88,27 @@ func parseLine(line string) (Record, bool) {
 	return rec, true
 }
 
+// parse reads `go test -bench` output and returns the benchmark records,
+// in input order. An input with no benchmark lines is an error: a renamed
+// benchmark must break CI, not silently produce an empty artifact.
+func parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []Record
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return recs, nil
+}
+
 func main() {
 	art := Artifact{
 		GeneratedAt: time.Now().UTC(),
@@ -94,21 +116,12 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if rec, ok := parseLine(sc.Text()); ok {
-			art.Benchmarks = append(art.Benchmarks, rec)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(art.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
-		os.Exit(1)
-	}
+	art.Benchmarks = recs
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(art); err != nil {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artifact from testdata/bench_input.txt")
+
+func f(v float64) *float64 { return &v }
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Record
+		ok   bool
+	}{
+		{
+			name: "benchmem line with GOMAXPROCS suffix",
+			line: "BenchmarkRunMix16-8 \t       3\t 326898873 ns/op\t  500196 B/op\t     120 allocs/op",
+			want: Record{Name: "BenchmarkRunMix16", Iterations: 3, NsPerOp: f(326898873), BPerOp: f(500196), AllocsPerOp: f(120)},
+			ok:   true,
+		},
+		{
+			name: "custom metric unit",
+			line: "BenchmarkRunMix16 \t       5\t 326898873 ns/op\t         2.449 Minstr/s",
+			want: Record{Name: "BenchmarkRunMix16", Iterations: 5, NsPerOp: f(326898873), Metrics: map[string]float64{"Minstr/s": 2.449}},
+			ok:   true,
+		},
+		{
+			name: "sub-benchmark name keeps slash, drops suffix",
+			line: "BenchmarkNextBatch/WorkingSet-4 \t 2000000\t        15.04 ns/op",
+			want: Record{Name: "BenchmarkNextBatch/WorkingSet", Iterations: 2000000, NsPerOp: f(15.04)},
+			ok:   true,
+		},
+		{
+			name: "no suffix, fractional ns",
+			line: "BenchmarkVictim \t 1000000\t 9.8 ns/op",
+			want: Record{Name: "BenchmarkVictim", Iterations: 1000000, NsPerOp: f(9.8)},
+			ok:   true,
+		},
+		{
+			name: "metrics-only line",
+			line: "BenchmarkGate \t 10\t 3.5 park/op",
+			want: Record{Name: "BenchmarkGate", Iterations: 10, Metrics: map[string]float64{"park/op": 3.5}},
+			ok:   true,
+		},
+		{
+			name: "dangling value without unit is ignored",
+			line: "BenchmarkOdd-2 \t 10\t 5 ns/op\t 7",
+			want: Record{Name: "BenchmarkOdd", Iterations: 10, NsPerOp: f(5)},
+			ok:   true,
+		},
+		{name: "ok trailer", line: "ok  \trepro/internal/sim\t2.097s"},
+		{name: "PASS", line: "PASS"},
+		{name: "goos header", line: "goos: linux"},
+		{name: "empty", line: ""},
+		{name: "name only", line: "BenchmarkLonely"},
+		{name: "non-integer iterations", line: "BenchmarkBad \t abc\t 12 ns/op"},
+		{name: "non-numeric value", line: "BenchmarkBad \t 10\t xyz ns/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("goos: linux\nPASS\nok  \tx\t0.1s\n")); err == nil {
+		t.Fatal("parse accepted input with no benchmark lines; a renamed benchmark must break CI")
+	}
+}
+
+// TestGoldenRoundTrip pins the full pipeline on a realistic `go test -bench
+// -benchmem` transcript: parse testdata/bench_input.txt and compare the
+// JSON-encoded records against the checked-in golden. Regenerate with
+// `go test ./cmd/benchjson -run TestGoldenRoundTrip -update` after an
+// intentional format change.
+func TestGoldenRoundTrip(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "bench_input.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	recs, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "bench_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("parsed records diverge from %s (run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+	// The golden JSON must also round-trip back into identical records, so
+	// downstream consumers of the artifact see exactly what was parsed.
+	var back []Record
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("golden JSON does not round-trip: %+v != %+v", back, recs)
+	}
+}

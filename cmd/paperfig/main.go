@@ -23,11 +23,15 @@
 //	-seed N          experiment seed               (default 42)
 //	-parallel N      concurrent simulations        (default GOMAXPROCS)
 //	-sim-threads N   threads inside each sim       (default 1; <0 = auto)
+//	-trace-batch N   per-core trace batch length   (default 0 = built-in)
 //
 // -parallel and -sim-threads spend one shared worker budget (a job costs
 // its thread count), and neither changes any output bit: simulations are
 // deterministic and the intra-simulation engine is provably
 // order-preserving, so both knobs are pure wall-clock trades.
+// -trace-batch is likewise bit-identical for every value (batched trace
+// delivery emits the exact scalar op stream); it exists so the CI
+// determinism job can diff batch lengths, not for tuning.
 //
 // Output and caching flags:
 //
@@ -79,6 +83,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "experiment seed")
 		par       = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		simThr    = flag.Int("sim-threads", 1, "threads inside each simulation (1 = serial, <0 = auto); results are bit-identical for every value")
+		traceBat  = flag.Int("trace-batch", 0, "per-core trace-delivery batch length (0 = default); results are bit-identical for every value — a testing knob for the determinism CI legs")
 		jsonPath  = flag.String("json", "", "write a structured JSON artifact to this file")
 		csvDir    = flag.String("csv", "", "write per-table CSV files into this directory")
 		cacheDir  = flag.String("cache-dir", "", "on-disk simulation cache directory (e.g. "+schedule.DefaultCacheDir+")")
@@ -104,6 +109,7 @@ func main() {
 		Seed:         *seed,
 		Parallelism:  *par,
 		SimThreads:   *simThr,
+		TraceBatch:   *traceBat,
 	}
 	// Presets give the baseline; explicitly-passed fidelity flags still win
 	// (e.g. `-tiny -seed 7` is Tiny at seed 7, not seed 42).
@@ -114,6 +120,7 @@ func main() {
 		}
 		preset.Parallelism = *par
 		preset.SimThreads = *simThr
+		preset.TraceBatch = *traceBat
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "cache-scale":

@@ -29,12 +29,26 @@ type MemSystem interface {
 	Access(core int, now uint64, addr uint64, write bool, pc uint64) (done uint64)
 }
 
+// DefaultTraceBatch is the trace-delivery batch length used when
+// Config.TraceBatch is zero: large enough to amortise the per-batch
+// dispatch to near nothing, small enough (a 2KB ring) to stay resident in
+// L1 next to the core's other hot state.
+const DefaultTraceBatch = 64
+
 // Config sizes a core.
 type Config struct {
 	ID             int
 	Width          int // retire width (4)
 	ROB            int // reorder-buffer window in instructions (128)
 	MaxOutstanding int // simultaneous incomplete loads (L1 MSHRs; 8)
+
+	// TraceBatch is the trace-delivery batch length: how many ops the core
+	// pre-draws from its generator per refill (rounded up to a power of
+	// two; 0 = DefaultTraceBatch). A pure implementation knob — generators
+	// are state machines independent of simulation time, so pre-drawing
+	// cannot change any emitted op, and every value yields bit-identical
+	// simulation results (sim.TestTraceBatchInvariance).
+	TraceBatch int
 }
 
 // Default returns the paper's core configuration for the given core ID.
@@ -47,6 +61,9 @@ func (c Config) Validate() error {
 	if c.Width <= 0 || c.ROB <= 0 || c.MaxOutstanding <= 0 {
 		return fmt.Errorf("cpu: width (%d), ROB (%d) and MaxOutstanding (%d) must be positive",
 			c.Width, c.ROB, c.MaxOutstanding)
+	}
+	if c.TraceBatch < 0 {
+		return fmt.Errorf("cpu: TraceBatch (%d) must be non-negative", c.TraceBatch)
 	}
 	return nil
 }
@@ -90,10 +107,19 @@ type Core struct {
 	rob    uint64
 	maxOut int
 
-	// op is the reusable decode buffer; keeping it on the Core (rather
-	// than the stack) avoids a heap allocation per Step, since the
-	// generator receives it through an interface call.
-	op trace.Op
+	// ops is the trace-delivery ring: a power-of-two batch of pre-drawn
+	// ops, refilled wholesale (outside the step loop) through the
+	// generator's NextBatch fast path when it has one. opNext indexes the
+	// next op to consume; the ring is exhausted when opNext reaches
+	// len(ops). Refills are per-core private work against a buffer
+	// allocated once in New, so the measured loop stays allocation-free
+	// and the parallel engine's ordering gate is untouched.
+	ops    []trace.Op
+	opNext int
+	// genBatch is gen's BatchGenerator capability, captured once at
+	// construction so refills pay no per-batch type assertion; nil means
+	// the scalar fallback loop.
+	genBatch trace.BatchGenerator
 
 	// Stats.
 	memAccesses uint64
@@ -111,6 +137,11 @@ func New(cfg Config, gen trace.Generator, mem MemSystem) *Core {
 		panic("cpu: nil generator or memory system")
 	}
 	ringLen := 1 << bits.Len(uint(cfg.MaxOutstanding-1)) // next power of two
+	batch := cfg.TraceBatch
+	if batch == 0 {
+		batch = DefaultTraceBatch
+	}
+	batch = 1 << bits.Len(uint(batch-1)) // next power of two
 	c := &Core{
 		cfg:      cfg,
 		gen:      gen,
@@ -120,7 +151,10 @@ func New(cfg Config, gen trace.Generator, mem MemSystem) *Core {
 		id:       cfg.ID,
 		rob:      uint64(cfg.ROB),
 		maxOut:   cfg.MaxOutstanding,
+		ops:      make([]trace.Op, batch),
+		opNext:   batch, // empty: first Step refills
 	}
+	c.genBatch, _ = gen.(trace.BatchGenerator)
 	if w := uint64(cfg.Width); w&(w-1) == 0 {
 		c.widthPow2 = true
 		c.widthShift = uint(bits.TrailingZeros64(w))
@@ -191,12 +225,32 @@ func (c *Core) reap() {
 	}
 }
 
+// refill re-draws the whole op ring from the generator: one NextBatch call
+// on the specialized batch path, or the scalar fallback loop for
+// generators without the capability.
+func (c *Core) refill() {
+	if c.genBatch != nil {
+		c.genBatch.NextBatch(c.ops)
+	} else {
+		for i := range c.ops {
+			c.gen.Next(&c.ops[i])
+		}
+	}
+	c.opNext = 0
+}
+
 // Step executes one trace op (its gap instructions plus its memory access)
 // and returns the core's new local clock. The caller (internal/sim) keeps a
-// min-heap of core clocks to interleave cores in global time order.
+// min-heap of core clocks to interleave cores in global time order. Ops
+// come off the pre-drawn ring; pre-drawing is invisible to the simulation
+// because generators are pure state machines — the op consumed at step N is
+// the same whether it was drawn at step N or batched ahead at step N-k.
 func (c *Core) Step() uint64 {
-	op := &c.op
-	c.gen.Next(op)
+	if c.opNext == len(c.ops) {
+		c.refill()
+	}
+	op := &c.ops[c.opNext]
+	c.opNext++
 
 	c.advance(uint64(op.Gap))
 	c.reap()

@@ -39,6 +39,12 @@ type Options struct {
 	// AdaptInterval overrides ADAPT's monitoring interval in misses
 	// (0 = proportional default: 4x the LLC block count).
 	AdaptInterval uint64
+	// TraceBatch is the per-core trace-delivery batch length handed to
+	// every machine this harness builds (sim.Config.TraceBatch, 0 = the
+	// cpu.DefaultTraceBatch). Bit-identical across values and excluded
+	// from memoization keys, exactly like SimThreads; surfaced as
+	// `paperfig -trace-batch` for the CI determinism legs.
+	TraceBatch int
 }
 
 // Paper returns full-fidelity options (hours of CPU time; used by
@@ -110,6 +116,7 @@ func (o Options) baseConfig(cores int) sim.Config {
 	cfg.Seed = o.Seed
 	cfg.PolicyOpt.Seed = o.Seed
 	cfg.Threads = o.SimThreads
+	cfg.TraceBatch = o.TraceBatch
 	if o.AdaptInterval > 0 {
 		cfg.PolicyOpt.AdaptIntervalMisses = o.AdaptInterval
 	}

@@ -78,8 +78,41 @@ func (s *Source) Uint64n(n uint64) uint64 {
 }
 
 // Float64 returns a uniformly distributed float64 in [0, 1).
+//
+// The value is exactly float64(Uint64()>>11) / 2^53 — one 53-bit draw,
+// exactly representable, so `Float64() < p` is decidable in integer
+// arithmetic (see Threshold53). Tests pin this construction; changing it
+// changes every generated trace stream.
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Threshold53 returns the unique integer threshold t such that for every
+// 53-bit draw k = Uint64()>>11,
+//
+//	float64(k)/2^53 < p  ⟺  k < t
+//
+// which lets hot loops replace a `Float64() < p` branch with one integer
+// compare on the same Uint64 draw — same draw count, same accept/reject
+// outcome, bit for bit.
+//
+// Why this is exact: k < 2^53, so float64(k) is exact, and dividing by the
+// power of two 2^53 is exact, so `Float64() < p` compares the real number
+// k/2^53 against p. In the reals, k/2^53 < p ⟺ k < p·2^53; multiplying the
+// float64 p by 2^53 only shifts its exponent (p ≤ 1 cannot overflow,
+// subnormals scale up exactly), so t' = p·2^53 is computed exactly, and
+// k < t' for integer k ⟺ k < ceil(t') (when t' is an integer, ceil is the
+// identity and the strict compare is unchanged; otherwise k < t' ⟺
+// k ≤ floor(t') ⟺ k < ceil(t')). p ≤ 0 accepts nothing; p ≥ 1 accepts
+// every draw, exactly as Float64() ∈ [0,1) always satisfies `< 1`.
+func Threshold53(p float64) uint64 {
+	if p <= 0 || p != p { // reject NaN along with non-positive p
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
 }
 
 // Perm returns a random permutation of [0, n) using Fisher-Yates.

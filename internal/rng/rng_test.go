@@ -6,6 +6,70 @@ import (
 	"testing/quick"
 )
 
+// TestFloat64Is53BitDraw pins the construction the trace layer's integer
+// fast paths rest on: Float64() is exactly float64(Uint64()>>11) / 2^53,
+// one draw per call. If this ever changes, every generated trace stream
+// changes with it — and Threshold53's equivalence proof no longer applies.
+func TestFloat64Is53BitDraw(t *testing.T) {
+	a, b := New(0xF00D), New(0xF00D)
+	for i := 0; i < 10000; i++ {
+		want := float64(b.Uint64()>>11) / float64(1<<53)
+		if got := a.Float64(); got != want {
+			t.Fatalf("step %d: Float64() = %v, want float64(Uint64()>>11)/2^53 = %v", i, got, want)
+		}
+	}
+}
+
+// TestThreshold53Equivalence is the proof obligation of the batched trace
+// loops: for every 53-bit draw k, `float64(k)/2^53 < p` must agree with
+// `k < Threshold53(p)`. Edge probabilities (0, 1, subnormal-adjacent,
+// 1-ulp-below-1) and edge draws (0, 1, 2^53-1) are pinned explicitly on
+// top of a randomized sweep.
+func TestThreshold53Equivalence(t *testing.T) {
+	ps := []float64{
+		0, 1, 0.5, 0.3, 0.25, 1.0 / 3.0, 0.9999,
+		math.SmallestNonzeroFloat64,         // smallest subnormal
+		math.Nextafter(0, 1),                // same, spelled via Nextafter
+		2.220446049250313e-16,               // 2^-52, one draw accepted
+		math.Nextafter(math.Pow(2, -53), 0), // just below the one-draw boundary
+		math.Pow(2, -53),                    // exactly the one-draw boundary
+		math.Nextafter(1, 0),                // largest float64 < 1
+		1.5, -0.25, math.NaN(),              // out-of-range: all-or-nothing
+		float64(3) / float64(1<<53),         // integral-threshold case
+		(float64(3) + 0.5) / float64(1<<53), // fractional-threshold case
+	}
+	ks := []uint64{0, 1, 2, 3, 4, 1<<52 - 1, 1 << 52, 1<<53 - 2, 1<<53 - 1}
+	src := New(0xABCD)
+	for i := 0; i < 2000; i++ {
+		ks = append(ks, src.Uint64()>>11)
+	}
+	for _, p := range ps {
+		thresh := Threshold53(p)
+		for _, k := range ks {
+			want := float64(k)/float64(1<<53) < p
+			got := k < thresh
+			if got != want {
+				t.Fatalf("p=%v k=%d: float compare %v, threshold compare %v (thresh=%d)", p, k, want, got, thresh)
+			}
+		}
+	}
+}
+
+// TestThreshold53MatchesSourceDraws closes the loop end to end: two
+// same-seeded sources, one consumed via Float64-compare and one via
+// threshold-compare, must make identical accept/reject decisions forever.
+func TestThreshold53MatchesSourceDraws(t *testing.T) {
+	for _, p := range []float64{0, 1e-9, 0.1, 0.5, 0.7, 0.999999, 1} {
+		a, b := New(42), New(42)
+		thresh := Threshold53(p)
+		for i := 0; i < 5000; i++ {
+			if (a.Float64() < p) != (b.Uint64()>>11 < thresh) {
+				t.Fatalf("p=%v: decision diverges at draw %d", p, i)
+			}
+		}
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	a, b := New(42), New(42)
 	for i := 0; i < 1000; i++ {

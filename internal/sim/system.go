@@ -141,6 +141,7 @@ func New(cfg Config, gens []trace.Generator) *System {
 			Width:          cfg.CPUWidth,
 			ROB:            cfg.CPUROB,
 			MaxOutstanding: cfg.CPUMaxOutstanding,
+			TraceBatch:     cfg.TraceBatch,
 		}, gens[i], p))
 	}
 	return s

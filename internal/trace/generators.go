@@ -11,13 +11,14 @@ import (
 // directed at a small hot subset (hotFrac of the set). High reuse, small
 // stack distances — the VL and L classes of Table 4.
 type WorkingSet struct {
-	p        Params
-	wsBlocks uint64
-	hotSize  uint64
-	hotProb  float64
-	gaps     gapper
-	writes   writer
-	src      *rng.Source
+	p         Params
+	wsBlocks  uint64
+	hotSize   uint64
+	hotProb   float64
+	hotThresh uint64 // rng.Threshold53(hotProb), for the batch fast path
+	gaps      gapper
+	writes    writer
+	src       *rng.Source
 }
 
 // NewWorkingSet builds a working-set generator. hotFrac and hotProb in
@@ -32,13 +33,14 @@ func NewWorkingSet(p Params, wsBlocks uint64, hotFrac, hotProb float64) *Working
 		hotSize = 1
 	}
 	return &WorkingSet{
-		p:        p,
-		wsBlocks: wsBlocks,
-		hotSize:  hotSize,
-		hotProb:  hotProb,
-		gaps:     newGapper(p.MemRatio, p.Seed),
-		writes:   newWriter(p.WriteRatio, p.Seed),
-		src:      rng.New(p.Seed ^ 0x3C6EF372FE94F82B),
+		p:         p,
+		wsBlocks:  wsBlocks,
+		hotSize:   hotSize,
+		hotProb:   hotProb,
+		hotThresh: rng.Threshold53(hotProb),
+		gaps:      newGapper(p.MemRatio, p.Seed),
+		writes:    newWriter(p.WriteRatio, p.Seed),
+		src:       rng.New(p.Seed ^ 0x3C6EF372FE94F82B),
 	}
 }
 

@@ -66,6 +66,13 @@ type MarkovBurst struct {
 	p     BurstParams
 	seed  uint64
 
+	// Batch fast-path constants, fixed at construction: the phase-exit
+	// probabilities 1/BurstOps and 1/CalmOps as 53-bit integer thresholds
+	// (rng.Threshold53), and the per-phase mean gaps (1-r)/r — the exact
+	// float64 values the scalar Next computes per op.
+	burstExitThresh, calmExitThresh uint64
+	calmGapMean, burstGapMean       float64
+
 	burst bool
 	acc   float64
 	src   *rng.Source
@@ -80,10 +87,14 @@ func NewMarkovBurst(inner Generator, p BurstParams, seed uint64) *MarkovBurst {
 		panic(err)
 	}
 	return &MarkovBurst{
-		inner: inner,
-		p:     p,
-		seed:  seed,
-		src:   rng.New(seed ^ 0x1F83D9ABFB41BD6B),
+		inner:           inner,
+		p:               p,
+		seed:            seed,
+		burstExitThresh: rng.Threshold53(1 / p.BurstOps),
+		calmExitThresh:  rng.Threshold53(1 / p.CalmOps),
+		calmGapMean:     (1 - p.CalmMemRatio) / p.CalmMemRatio,
+		burstGapMean:    (1 - p.BurstMemRatio) / p.BurstMemRatio,
+		src:             rng.New(seed ^ 0x1F83D9ABFB41BD6B),
 	}
 }
 

@@ -48,6 +48,35 @@ type Generator interface {
 	Reset()
 }
 
+// BatchGenerator is the bulk-delivery capability: NextBatch fills a whole
+// slice of ops per call, emitting exactly the stream len(ops) successive
+// Next calls would — op for op, bit for bit, from the same generator state.
+// Every family in this package implements it with a specialized loop
+// (per-op field loads and virtual calls hoisted, probability branches
+// turned into integer-threshold compares via rng.Threshold53); callers
+// holding only a Generator use FillBatch, which falls back to a scalar
+// loop. Next and NextBatch calls may be interleaved freely.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills every element of ops with the next len(ops)
+	// references.
+	NextBatch(ops []Op)
+}
+
+// FillBatch delivers len(ops) references from g: through the specialized
+// NextBatch loop when g implements BatchGenerator, otherwise through the
+// generic scalar fallback. Both paths produce the identical op sequence,
+// which is what the batch-vs-scalar differential tests pin.
+func FillBatch(g Generator, ops []Op) {
+	if bg, ok := g.(BatchGenerator); ok {
+		bg.NextBatch(ops)
+		return
+	}
+	for i := range ops {
+		g.Next(&ops[i])
+	}
+}
+
 // Params carries the knobs shared by every generator family.
 type Params struct {
 	// Base offsets all generated block addresses; the simulator gives each
@@ -113,15 +142,42 @@ func (g *gapper) next() uint32 {
 	return uint32(gap)
 }
 
+// fill sets ops[i].Gap for every i, with float arithmetic identical to
+// next() so the gap stream is bit-for-bit the same; the accumulator and
+// source ride in locals across the batch.
+func (g *gapper) fill(ops []Op) {
+	src, mean, acc := g.src, g.mean, g.acc
+	for i := range ops {
+		target := mean * (0.5 + src.Float64())
+		acc += target
+		gap := math.Floor(acc)
+		acc -= gap
+		if gap < 0 {
+			gap = 0
+		}
+		if gap > math.MaxUint32 {
+			gap = math.MaxUint32
+		}
+		ops[i].Gap = uint32(gap)
+	}
+	g.acc = acc
+}
+
 // writer decides load/store deterministically with the configured ratio.
 type writer struct {
-	src  *rng.Source
-	p    float64
-	seed uint64
+	src    *rng.Source
+	p      float64
+	thresh uint64 // rng.Threshold53(p), for the batch fast path
+	seed   uint64
 }
 
 func newWriter(ratio float64, seed uint64) writer {
-	return writer{src: rng.New(seed ^ 0xBB67AE8584CAA73B), p: ratio, seed: seed}
+	return writer{
+		src:    rng.New(seed ^ 0xBB67AE8584CAA73B),
+		p:      ratio,
+		thresh: rng.Threshold53(ratio),
+		seed:   seed,
+	}
 }
 
 func (w *writer) reset() { w.src = rng.New(w.seed ^ 0xBB67AE8584CAA73B) }
@@ -131,4 +187,20 @@ func (w *writer) next() bool {
 		return false
 	}
 	return w.src.Float64() < w.p
+}
+
+// fill sets ops[i].Write for every i. The zero-ratio case draws nothing,
+// exactly like next(); otherwise each op consumes one Uint64 draw and the
+// threshold compare decides identically to `Float64() < p`.
+func (w *writer) fill(ops []Op) {
+	if w.p == 0 {
+		for i := range ops {
+			ops[i].Write = false
+		}
+		return
+	}
+	src, thresh := w.src, w.thresh
+	for i := range ops {
+		ops[i].Write = src.Uint64()>>11 < thresh
+	}
 }

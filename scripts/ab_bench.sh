@@ -1,0 +1,108 @@
+#!/bin/sh
+# ab_bench.sh — paired interleaved A/B benchmarking against a git ref.
+#
+# Single-shot benchmark numbers on a shared 1-vCPU host are bimodal: host
+# frequency and steal noise move *identical* binaries by ±20-30 %. The
+# methodology that survives that noise (first run by hand for the PR 8
+# hot-path work, scripted here) is pairing plus user-CPU accounting:
+#
+#   1. Build the benchmark binary twice — once from an old git ref, once
+#      from the working tree — so both halves of every round run the same
+#      benchmark code against the two implementations.
+#   2. Run old and new back to back, alternating, N times. Noise that
+#      drifts over seconds hits both halves of a round roughly equally,
+#      so the per-round ratio old/new is meaningful even when absolute
+#      numbers are not; the geomean of the round ratios is the headline.
+#   3. Ratio *user CPU* (via the shell `times` builtin), not wall clock:
+#      steal time inflates wall ns/op by whole tens of percent but never
+#      shows up in user CPU, which tracks instructions actually executed.
+#      Wall ns/op is still printed per round for reference.
+#
+# Usage:
+#
+#	scripts/ab_bench.sh [-n rounds] [-b bench-regex] [-p package] \
+#	                    [-x benchtime] [old-ref]
+#
+#	-n rounds      paired rounds to run              (default 6)
+#	-b bench-regex go test -bench regex              (default 'RunMix16$')
+#	-p package     package holding the benchmarks    (default ./internal/sim)
+#	-x benchtime   -benchtime per run; use a fixed Nx count so every
+#	               round does identical work          (default 5x)
+#	old-ref        git ref to build "old" from        (default HEAD)
+#
+# Output: one line per round with user-CPU seconds, wall ns/op, and the
+# user-CPU ratio, then the geomean and the faster-in-K/N tally. Ratios
+# above 1 mean the working tree is faster. When the bench regex matches
+# several benchmarks, the wall figure is their geomean; user CPU is the
+# whole process, so keep the regex tight when ratios must be attributable.
+#
+# Pure POSIX sh + awk so it runs identically locally and in CI.
+set -eu
+cd "$(dirname "$0")/.."
+
+ROUNDS=6
+BENCH='RunMix16$'
+PKG=./internal/sim
+BENCHTIME=5x
+while getopts "n:b:p:x:" opt; do
+	case "$opt" in
+	n) ROUNDS="$OPTARG" ;;
+	b) BENCH="$OPTARG" ;;
+	p) PKG="$OPTARG" ;;
+	x) BENCHTIME="$OPTARG" ;;
+	*) echo "usage: scripts/ab_bench.sh [-n rounds] [-b bench-regex] [-p package] [-x benchtime] [old-ref]" >&2; exit 2 ;;
+	esac
+done
+shift $((OPTIND - 1))
+OLD_REF="${1:-HEAD}"
+
+TMP="$(mktemp -d)"
+cleanup() {
+	git worktree remove --force "$TMP/old-src" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "ab-bench: old = $OLD_REF, new = working tree"
+echo "ab-bench: bench '$BENCH' in $PKG, $ROUNDS rounds at -benchtime $BENCHTIME"
+
+git worktree add --detach "$TMP/old-src" "$OLD_REF" >/dev/null 2>&1
+(cd "$TMP/old-src" && go test -c -o "$TMP/old.test" "$PKG")
+go test -c -o "$TMP/new.test" "$PKG"
+
+# child_user FILE: children user-CPU seconds from a `times` snapshot
+# (second line, "XmY.YYYYYYs" format).
+child_user() {
+	awk 'NR == 2 { split($1, t, "m"); sub(/s$/, "", t[2]); print t[1] * 60 + t[2] }' "$1"
+}
+
+# One benchmark run of one binary; prints "user-CPU-seconds wall-ns/op".
+# Runs in a command-substitution subshell, so the `times` deltas cover
+# exactly this run's children.
+run_one() {
+	times >"$TMP/t0"
+	"$1" -test.run '^$' -test.bench "$BENCH" -test.benchtime "$BENCHTIME" >"$TMP/bench.out"
+	times >"$TMP/t1"
+	NS="$(awk '$1 ~ /^Benchmark/ && $4 == "ns/op" { sum += log($3); n++ }
+	           END { if (n == 0) { exit 1 }; printf "%.0f", exp(sum / n) }' "$TMP/bench.out")"
+	awk -v u0="$(child_user "$TMP/t0")" -v u1="$(child_user "$TMP/t1")" -v ns="$NS" \
+		'BEGIN { printf "%.2f %s", u1 - u0, ns }'
+}
+
+RESULTS="$TMP/rounds.txt"
+: >"$RESULTS"
+i=1
+while [ "$i" -le "$ROUNDS" ]; do
+	set -- $(run_one "$TMP/old.test")
+	OLD_U="$1" OLD_NS="$2"
+	set -- $(run_one "$TMP/new.test")
+	NEW_U="$1" NEW_NS="$2"
+	RATIO="$(awk "BEGIN { printf \"%.3f\", $OLD_U / $NEW_U }")"
+	echo "round $i/$ROUNDS: old ${OLD_U}s user ($OLD_NS ns/op wall), new ${NEW_U}s user ($NEW_NS ns/op wall), user ratio ${RATIO}x"
+	echo "$OLD_U $NEW_U" >>"$RESULTS"
+	i=$((i + 1))
+done
+
+awk '{ lsum += log($1 / $2); n++; if ($2 < $1) { wins++ } }
+     END { printf "ab-bench: user-CPU geomean %.3fx, new faster in %d/%d rounds\n",
+            exp(lsum / n), wins, n }' "$RESULTS"
