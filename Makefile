@@ -54,7 +54,9 @@ bench:
 # BENCH_policy_victim.txt for the policy layer, and BENCH_sim_substrate.txt
 # for the substrate — the Mix16 and streaming Mix16 parallel runs whose
 # Parallel{4,8}-vs-Parallel1 deltas track the helper-drained, per-bank-
-# sharded substrate across commits.
+# sharded substrate across commits. BENCH_sampling.json carries the
+# sampled-fidelity headline (speedup + ipc-err-pct vs the detailed
+# reference at paper-scale budgets) as custom benchmark metrics.
 bench-smoke: build
 	$(GO) run ./cmd/paperfig -fig 1 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig1.json
 	$(GO) run ./cmd/paperfig -fig 6 -tiny -stats -cache-dir .simcache -json BENCH_paperfig_fig6.json
@@ -69,6 +71,9 @@ bench-smoke: build
 	$(GO) test -bench 'BenchmarkNext' -benchmem -benchtime 200000x -run '^$$' ./internal/trace > BENCH_tracegen.txt || { cat BENCH_tracegen.txt; exit 1; }
 	cat BENCH_tracegen.txt
 	$(GO) run ./cmd/benchjson < BENCH_tracegen.txt > BENCH_tracegen.json
+	$(GO) test -bench 'SamplingFidelity$$' -benchtime 1x -run '^$$' ./internal/sim > BENCH_sampling.txt || { cat BENCH_sampling.txt; exit 1; }
+	cat BENCH_sampling.txt
+	$(GO) run ./cmd/benchjson < BENCH_sampling.txt > BENCH_sampling.json
 	$(GO) test -race -run 'TestServeLoad' -count=1 -v ./internal/serve
 
 # End-to-end smoke of the serving layer: paperfigd up, `paperfig -server`

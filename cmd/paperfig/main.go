@@ -25,6 +25,21 @@
 //	-sim-threads N   threads inside each sim       (default 1; <0 = auto)
 //	-trace-batch N   per-core trace batch length   (default 0 = built-in)
 //
+// Sampled fidelity (SMARTS-style periodic sampling):
+//
+//	-sample            sampled fidelity: detailed windows + functional warming
+//	-sample-windows N  detailed windows per app      (default 20; implies -sample)
+//	-sample-detail N   instructions per window       (default measure/windows/8)
+//	-sample-warm N     detailed warm-up per window   (default detail/2)
+//	-validate-sampling run the sampled-vs-detailed validation table (4-core)
+//
+// -full and -tiny are mutually exclusive. Sampling changes results (it
+// estimates from the detailed windows only, with confidence intervals in
+// the tables' sampling validation output), so sampled runs are cached
+// separately from detailed ones; but for a fixed sampling configuration
+// results remain bit-identical across -parallel, -sim-threads and
+// -trace-batch.
+//
 // -parallel and -sim-threads spend one shared worker budget (a job costs
 // its thread count), and neither changes any output bit: simulations are
 // deterministic and the intra-simulation engine is provably
@@ -64,7 +79,62 @@ import (
 	"repro/internal/prof"
 	"repro/internal/schedule"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
+
+// sampleOptions resolves the sampling flags into a sim.SampleConfig.
+// -sample-windows alone implies sampling; window-geometry flags without any
+// enabling flag are a likely operator error and are rejected rather than
+// silently ignored.
+func sampleOptions(sample bool, windows int, detail, warm uint64) (sim.SampleConfig, error) {
+	sc := sim.SampleConfig{Windows: windows, DetailInstr: detail, WarmInstr: warm}
+	if sample && sc.Windows == 0 {
+		sc.Windows = sim.DefaultSampleWindows
+	}
+	if !sc.Enabled() && (detail != 0 || warm != 0) {
+		return sim.SampleConfig{}, fmt.Errorf("-sample-detail/-sample-warm need -sample or -sample-windows")
+	}
+	return sc, nil
+}
+
+// fidelityOptions resolves the fidelity preset flags over the individually-
+// flagged base options. full and tiny are mutually exclusive (previously
+// -tiny silently won the combination). With a preset selected, explicitly-
+// passed fidelity flags still override it (e.g. `-tiny -seed 7` is Tiny at
+// seed 7); execution knobs and the sampling axis always carry over, since
+// presets say nothing about them.
+func fidelityOptions(base experiments.Options, full, tiny bool, explicit map[string]bool) (experiments.Options, error) {
+	if full && tiny {
+		return experiments.Options{}, fmt.Errorf("-full and -tiny are mutually exclusive; pick one fidelity preset")
+	}
+	if !full && !tiny {
+		return base, nil
+	}
+	preset := experiments.Paper()
+	if tiny {
+		preset = experiments.Tiny()
+	}
+	preset.Parallelism = base.Parallelism
+	preset.SimThreads = base.SimThreads
+	preset.TraceBatch = base.TraceBatch
+	preset.Sample = base.Sample
+	if explicit["cache-scale"] {
+		preset.Scale = base.Scale
+	}
+	if explicit["workloads"] {
+		preset.MaxWorkloads = base.MaxWorkloads
+	}
+	if explicit["measure"] {
+		preset.MeasureInstr = base.MeasureInstr
+	}
+	if explicit["warmup"] {
+		preset.WarmupInstr = base.WarmupInstr
+	}
+	if explicit["seed"] {
+		preset.Seed = base.Seed
+	}
+	return preset, nil
+}
 
 func main() {
 	var (
@@ -84,6 +154,11 @@ func main() {
 		par       = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		simThr    = flag.Int("sim-threads", 1, "threads inside each simulation (1 = serial, <0 = auto); results are bit-identical for every value")
 		traceBat  = flag.Int("trace-batch", 0, "per-core trace-delivery batch length (0 = default); results are bit-identical for every value — a testing knob for the determinism CI legs")
+		sample    = flag.Bool("sample", false, "sampled fidelity: SMARTS-style detailed windows + deterministic functional warming")
+		sampleWin = flag.Int("sample-windows", 0, "detailed measurement windows per app (0 = default 20; implies -sample)")
+		sampleDet = flag.Uint64("sample-detail", 0, "detailed instructions per measurement window (0 = budget-derived)")
+		sampleWrm = flag.Uint64("sample-warm", 0, "detailed warm-up instructions before each window (0 = detail/2)")
+		valSample = flag.Bool("validate-sampling", false, "run the sampled-vs-detailed validation study (4-core, per-app IPC error with CIs)")
 		jsonPath  = flag.String("json", "", "write a structured JSON artifact to this file")
 		csvDir    = flag.String("csv", "", "write per-table CSV files into this directory")
 		cacheDir  = flag.String("cache-dir", "", "on-disk simulation cache directory (e.g. "+schedule.DefaultCacheDir+")")
@@ -101,7 +176,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{
+	sampleCfg, err := sampleOptions(*sample, *sampleWin, *sampleDet, *sampleWrm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(2)
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	opt, err := fidelityOptions(experiments.Options{
 		Scale:        *scale,
 		MaxWorkloads: *workloads,
 		WarmupInstr:  *warmup,
@@ -110,32 +192,11 @@ func main() {
 		Parallelism:  *par,
 		SimThreads:   *simThr,
 		TraceBatch:   *traceBat,
-	}
-	// Presets give the baseline; explicitly-passed fidelity flags still win
-	// (e.g. `-tiny -seed 7` is Tiny at seed 7, not seed 42).
-	if *full || *tiny {
-		preset := experiments.Paper()
-		if *tiny {
-			preset = experiments.Tiny()
-		}
-		preset.Parallelism = *par
-		preset.SimThreads = *simThr
-		preset.TraceBatch = *traceBat
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "cache-scale":
-				preset.Scale = *scale
-			case "workloads":
-				preset.MaxWorkloads = *workloads
-			case "measure":
-				preset.MeasureInstr = *measure
-			case "warmup":
-				preset.WarmupInstr = *warmup
-			case "seed":
-				preset.Seed = *seed
-			}
-		})
-		opt = preset
+		Sample:       sampleCfg,
+	}, *full, *tiny, explicit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfig:", err)
+		os.Exit(2)
 	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -169,6 +230,9 @@ func main() {
 		}
 		if *compare {
 			add(experiments.Request{Compare: true})
+		}
+		if *valSample {
+			add(experiments.Request{Sampling: true})
 		}
 		if *table != 0 && *table != 2 && *table != 4 && *table != 7 {
 			// Unknown table numbers fell through the old chain silently into

@@ -29,6 +29,15 @@ type MemSystem interface {
 	Access(core int, now uint64, addr uint64, write bool, pc uint64) (done uint64)
 }
 
+// FunctionalMem is the timing-free sibling of MemSystem, driven by
+// RunFunctional during sampled-fidelity warming gaps: one call per memory
+// reference, updating cache and policy state at nominal latencies with no
+// completion time to report (the core's clock is frozen during functional
+// execution).
+type FunctionalMem interface {
+	FunctionalAccess(addr uint64, write bool, pc uint64)
+}
+
 // DefaultTraceBatch is the trace-delivery batch length used when
 // Config.TraceBatch is zero: large enough to amortise the per-batch
 // dispatch to near nothing, small enough (a 2KB ring) to stay resident in
@@ -324,6 +333,31 @@ func (c *Core) RunFree(retireAt uint64, published func(clock uint64)) uint64 {
 		if c.retired >= retireAt {
 			return clock
 		}
+	}
+}
+
+// RunFunctional retires instructions in functional-warming mode until the
+// retired count reaches retireAt: ops come off the same pre-drawn ring as
+// Step — same generator, same refill cadence, so the op stream is
+// bit-identical to what detailed execution would have consumed — but only
+// the retired-instruction counter advances and each memory reference goes
+// to mem with no timing. The clock, slack and in-flight load ring are left
+// untouched: functional execution is invisible to the timing model except
+// through the memory state mem mutates. In-flight loads carried across a
+// functional span keep their pre-span instruction indices, so the ROB-
+// window check conservatively drains them early in the next detailed span;
+// the sampled-mode scheduler absorbs that transient in its detailed
+// re-warm phase.
+func (c *Core) RunFunctional(retireAt uint64, mem FunctionalMem) {
+	for c.retired < retireAt {
+		if c.opNext == len(c.ops) {
+			c.refill()
+		}
+		op := &c.ops[c.opNext]
+		c.opNext++
+		c.retired += uint64(op.Gap) + 1
+		c.memAccesses++
+		mem.FunctionalAccess(op.Addr, op.Write, op.PC)
 	}
 }
 

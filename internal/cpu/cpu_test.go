@@ -260,3 +260,83 @@ func TestNewPanicsOnNil(t *testing.T) {
 	}()
 	New(cfg(), nil, nil)
 }
+
+// streamMem records the (addr, write, pc) sequence seen on either the timed
+// or the functional memory interface, so the two execution modes' op streams
+// can be compared op for op.
+type streamMem struct {
+	addrs  []uint64
+	writes []bool
+	pcs    []uint64
+}
+
+func (m *streamMem) record(addr uint64, write bool, pc uint64) {
+	m.addrs = append(m.addrs, addr)
+	m.writes = append(m.writes, write)
+	m.pcs = append(m.pcs, pc)
+}
+
+func (m *streamMem) Access(core int, now uint64, addr uint64, write bool, pc uint64) uint64 {
+	m.record(addr, write, pc)
+	return now + 1
+}
+
+func (m *streamMem) FunctionalAccess(addr uint64, write bool, pc uint64) {
+	m.record(addr, write, pc)
+}
+
+// TestRunFunctionalSameOpStream pins functional warming's core guarantee:
+// RunFunctional consumes the exact op stream detailed Step would — same
+// generator draws, same refill cadence — and a mid-stream handoff from
+// functional to detailed execution continues that stream without skipping
+// or replaying an op.
+func TestRunFunctionalSameOpStream(t *testing.T) {
+	script := []trace.Op{
+		{Addr: 0x100, Gap: 3, PC: 10},
+		{Addr: 0x240, Gap: 0, Write: true, PC: 11},
+		{Addr: 0x380, Gap: 7, PC: 12},
+		{Addr: 0x100, Gap: 1, PC: 13},
+		{Addr: 0x4c0, Gap: 2, Write: true, PC: 14},
+	}
+	const target = 2_000
+
+	// Reference: fully detailed execution.
+	dm := &streamMem{}
+	dc := New(cfg(), &scriptGen{ops: script}, dm)
+	for dc.Retired() < target {
+		dc.Step()
+	}
+	dc.Drain()
+
+	// Functional to half the target, then detailed for the rest.
+	fm := &streamMem{}
+	fc := New(cfg(), &scriptGen{ops: script}, fm)
+	fc.RunFunctional(target/2, fm)
+	if fc.Retired() < target/2 {
+		t.Fatalf("functional phase retired %d, want >= %d", fc.Retired(), target/2)
+	}
+	for fc.Retired() < target {
+		fc.Step()
+	}
+	fc.Drain()
+
+	if fc.Retired() != dc.Retired() {
+		t.Fatalf("retired diverged: functional+detailed %d vs detailed %d", fc.Retired(), dc.Retired())
+	}
+	if fc.MemAccesses() != dc.MemAccesses() {
+		t.Fatalf("mem accesses diverged: %d vs %d", fc.MemAccesses(), dc.MemAccesses())
+	}
+	n := len(fm.addrs)
+	if len(dm.addrs) < n {
+		n = len(dm.addrs)
+	}
+	if n == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	for i := 0; i < n; i++ {
+		if fm.addrs[i] != dm.addrs[i] || fm.writes[i] != dm.writes[i] || fm.pcs[i] != dm.pcs[i] {
+			t.Fatalf("op stream diverged at access %d: functional (%#x,%v,%d) vs detailed (%#x,%v,%d)",
+				i, fm.addrs[i], fm.writes[i], fm.pcs[i], dm.addrs[i], dm.writes[i], dm.pcs[i])
+		}
+	}
+}

@@ -20,6 +20,9 @@ type Request struct {
 	Ablation string `json:"ablation,omitempty"`
 	// Compare selects the clustering-vs-insertion fairness comparison.
 	Compare bool `json:"compare,omitempty"`
+	// Sampling selects the sampled-fidelity validation study: detailed vs
+	// sampled per-app IPC with confidence intervals on the 4-core mixes.
+	Sampling bool `json:"sampling,omitempty"`
 	// Scale extends Figure 8 to the beyond-paper 32/64/128-core sweep.
 	// Only valid with Fig == 8.
 	Scale bool `json:"scale,omitempty"`
@@ -41,6 +44,8 @@ func (r Request) Name() string {
 		return "ablation-" + r.Ablation
 	case r.Compare:
 		return "compare"
+	case r.Sampling:
+		return "sampling"
 	}
 	return "invalid"
 }
@@ -61,8 +66,11 @@ func (r Request) Validate() error {
 	if r.Compare {
 		selectors++
 	}
+	if r.Sampling {
+		selectors++
+	}
 	if selectors != 1 {
-		return fmt.Errorf("experiments: request must select exactly one of fig/table/ablation/compare, got %d", selectors)
+		return fmt.Errorf("experiments: request must select exactly one of fig/table/ablation/compare/sampling, got %d", selectors)
 	}
 	switch {
 	case r.Fig != 0:
@@ -154,6 +162,8 @@ func (r Request) Run(emit func(Table)) error {
 		for _, t := range Compare(opt).Tables() {
 			emit(t)
 		}
+	case r.Sampling:
+		emit(SamplingValidation(opt).Table())
 	}
 	return nil
 }

@@ -45,6 +45,14 @@ type Options struct {
 	// from memoization keys, exactly like SimThreads; surfaced as
 	// `paperfig -trace-batch` for the CI determinism legs.
 	TraceBatch int
+	// Sample switches every machine this harness builds to sampled
+	// fidelity (sim.Config.Sample): alternating detailed windows and
+	// functionally-warmed gaps. Unlike SimThreads/TraceBatch this DOES
+	// change results — it trades measurement coverage for speed — so it is
+	// part of the memoization key (via the Config fingerprint) and sampled
+	// runs never alias detailed cache entries. The zero value keeps the
+	// fully-detailed engine.
+	Sample sim.SampleConfig
 }
 
 // Paper returns full-fidelity options (hours of CPU time; used by
@@ -117,6 +125,7 @@ func (o Options) baseConfig(cores int) sim.Config {
 	cfg.PolicyOpt.Seed = o.Seed
 	cfg.Threads = o.SimThreads
 	cfg.TraceBatch = o.TraceBatch
+	cfg.Sample = o.Sample
 	if o.AdaptInterval > 0 {
 		cfg.PolicyOpt.AdaptIntervalMisses = o.AdaptInterval
 	}

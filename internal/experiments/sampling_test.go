@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func samplingTinyOpt() Options {
+	opt := Tiny()
+	opt.MaxWorkloads = 2
+	opt.WarmupInstr = 20_000
+	opt.MeasureInstr = 80_000
+	opt.Sample = sim.SampleConfig{Windows: 8}
+	return opt
+}
+
+func TestSamplingValidationShapes(t *testing.T) {
+	res := SamplingValidation(samplingTinyOpt())
+	if res.Sample.Windows != 8 {
+		t.Fatalf("Sample.Windows = %d, want the requested 8", res.Sample.Windows)
+	}
+	if want := 2 * 4; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d (2 mixes x 4 apps)", len(res.Rows), want)
+	}
+	for i, r := range res.Rows {
+		if r.DetailedIPC <= 0 || r.SampledIPC <= 0 {
+			t.Errorf("row %d (%s/%s): non-positive IPCs %+v", i, r.Mix, r.App, r)
+		}
+		for _, v := range []float64{r.IPCCI, r.IPCCV, r.ErrPct, r.LLCErrPct} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("row %d (%s/%s): bad value %v", i, r.Mix, r.App, v)
+			}
+		}
+	}
+	if res.MeanErrPct > res.WorstErrPct {
+		t.Errorf("mean error %.2f%% exceeds worst %.2f%%", res.MeanErrPct, res.WorstErrPct)
+	}
+
+	table := res.Table()
+	if len(table.Rows) != len(res.Rows) {
+		t.Errorf("table rows = %d, want %d", len(table.Rows), len(res.Rows))
+	}
+	if !strings.Contains(table.Note, "windows=8") {
+		t.Errorf("table note %q does not state the window geometry", table.Note)
+	}
+}
+
+// TestSamplingValidationDefaultsSample pins the fallback: a request without
+// an explicit sampling axis still validates something (the default config),
+// rather than comparing detailed against detailed.
+func TestSamplingValidationDefaultsSample(t *testing.T) {
+	opt := samplingTinyOpt()
+	opt.MaxWorkloads = 1
+	opt.Sample = sim.SampleConfig{}
+	res := SamplingValidation(opt)
+	if res.Sample != sim.DefaultSample() {
+		t.Errorf("Sample = %+v, want the default %+v", res.Sample, sim.DefaultSample())
+	}
+}
+
+func TestSamplingRequest(t *testing.T) {
+	req := Request{Sampling: true, Opt: samplingTinyOpt()}
+	if req.Name() != "sampling" {
+		t.Errorf("Name = %q, want sampling", req.Name())
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("valid sampling request rejected: %v", err)
+	}
+	if err := (Request{Sampling: true, Compare: true, Opt: samplingTinyOpt()}).Validate(); err == nil {
+		t.Error("sampling+compare accepted; selectors must be exclusive")
+	}
+	var tables []Table
+	if err := req.Run(func(tb Table) { tables = append(tables, tb) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || !strings.Contains(tables[0].Title, "Sampling validation") {
+		t.Errorf("Run emitted %d tables (%v), want the one validation table", len(tables), tables)
+	}
+}

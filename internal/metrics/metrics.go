@@ -159,6 +159,43 @@ func Summarize(policy, baseline []PerWorkload) Summary {
 	}
 }
 
+// Interval is a mean with its sampling uncertainty: the 95% confidence
+// half-width (normal approximation, 1.96·s/√n with the sample standard
+// deviation s) and the coefficient of variation s/mean — the SMARTS-style
+// convergence diagnostic the sampled-fidelity estimator reports.
+type Interval struct {
+	Mean float64
+	// CI is the 95% confidence half-width; the true mean lies in
+	// [Mean-CI, Mean+CI] with ~95% confidence under the usual independence
+	// assumptions. Zero when fewer than two samples exist.
+	CI float64
+	// CV is the coefficient of variation s/Mean (zero when Mean is zero or
+	// fewer than two samples exist).
+	CV float64
+	// N is the sample count.
+	N int
+}
+
+// MeanInterval computes the mean of samples with its 95% confidence
+// half-width and coefficient of variation.
+func MeanInterval(samples []float64) Interval {
+	iv := Interval{N: len(samples), Mean: AMean(samples)}
+	if len(samples) < 2 {
+		return iv
+	}
+	ss := 0.0
+	for _, v := range samples {
+		d := v - iv.Mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(samples)-1))
+	iv.CI = 1.96 * sd / math.Sqrt(float64(len(samples)))
+	if iv.Mean != 0 {
+		iv.CV = sd / iv.Mean
+	}
+	return iv
+}
+
 func safeDiv(a, b float64) float64 {
 	if b == 0 {
 		return 0

@@ -937,3 +937,81 @@ func TestWaitIdleImmediate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaintainStoreRacesLiveWriter pins MaintainStore's documented
+// concurrency contract: a maintenance pass racing live appenders may at
+// worst drop a freshly-appended line (a re-executable cache entry, never
+// an answer) — it must never error, corrupt the store, or lose an entry
+// that was durable before maintenance began. Run under -race this also
+// proves the pass shares no unsynchronized memory with the writer path.
+func TestMaintainStoreRacesLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	s := New(2)
+	s.runFn = fakeRun(5)
+	if err := s.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	d := s.disk
+	s.mu.Unlock()
+
+	// Entries durable before any maintenance pass; every one gets a
+	// duplicate append so each pass has real compaction work to do.
+	durable := make([]Job, 8)
+	for i := range durable {
+		durable[i] = testJob(uint64(i + 1))
+		s.Run(durable[i])
+		if err := d.write(durable[i].Key(), durable[i], fakeRun(5)(durable[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j := testJob(uint64(100 + 10*w + i%7))
+				j.Segment = "writer"
+				if err := d.write(j.Key(), j, fakeRun(5)(j)); err != nil {
+					t.Errorf("live writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for pass := 0; pass < 25; pass++ {
+		if _, err := MaintainStore(dir, 0); err != nil {
+			t.Fatalf("maintenance pass %d racing a live writer: %v", pass, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Writers quiesced: one more pass, then a fresh scheduler must serve
+	// every durable key straight from disk without executing anything.
+	if _, err := MaintainStore(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(2)
+	s2.runFn = func(Job) sim.Result {
+		t.Error("maintenance lost a durable entry")
+		return sim.Result{}
+	}
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range durable {
+		s2.Run(j)
+	}
+	if st := s2.Stats(); st.DiskHits != uint64(len(durable)) {
+		t.Fatalf("stats = %+v, want %d disk hits", st, len(durable))
+	}
+}

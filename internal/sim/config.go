@@ -62,6 +62,13 @@ type Config struct {
 	// so clustered and unclustered runs never share memoized entries.
 	Cluster cluster.Config
 
+	// Sample selects the sampled-fidelity execution mode (SMARTS-style
+	// periodic sampling with deterministic functional warming); the zero
+	// value runs fully detailed. Fingerprinted — a sampled run is an
+	// approximation of the detailed reference, so the two must never share
+	// memoized results. See SampleConfig.
+	Sample SampleConfig
+
 	// Seed feeds policy monitor sampling and anything else stochastic.
 	Seed uint64
 
@@ -168,6 +175,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceBatch < 0 {
 		return fmt.Errorf("sim: TraceBatch must be non-negative, got %d", c.TraceBatch)
+	}
+	if err := c.Sample.Validate(); err != nil {
+		return err
 	}
 	if err := c.Mem.Validate(); err != nil {
 		return err

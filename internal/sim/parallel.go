@@ -199,15 +199,17 @@ func (s *System) runParallel(threads int, target uint64, freezeCycles, freezeIns
 	participants := 0
 	for i, c := range s.cores {
 		e.waitKey[i] = keyInf
+		e.keys[i].v.Store(orderKey(c.Clock(), i))
 		if c.Retired() >= target {
-			// Already past target at entry: the serial loop records the
-			// core immediately and never schedules it.
+			// Already past target at entry: the serial loop records the core
+			// immediately but keeps scheduling it in clock order (contention
+			// preservation, the sampled-mode window re-entry case). It starts
+			// life in the crossed phase with a zero crossing key — entry-
+			// crossed cores never bound K*.
 			e.record(i)
 			e.crossed[i] = true
-			e.keys[i].v.Store(keyInf)
 			continue
 		}
-		e.keys[i].v.Store(orderKey(c.Clock(), i))
 		participants++
 	}
 	e.uncrossed = participants
@@ -236,10 +238,15 @@ func (s *System) runParallel(threads int, target uint64, freezeCycles, freezeIns
 
 	var wg sync.WaitGroup
 	for i := range s.cores {
+		wg.Add(1)
 		if e.crossed[i] {
+			go func(id int) {
+				defer wg.Done()
+				e.acquireToken()
+				e.runCrossedPhase(id)
+			}(i)
 			continue
 		}
-		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			e.runCore(id)
@@ -309,8 +316,16 @@ func (e *parEngine) runCore(id int) {
 	e.cond.Broadcast()                          // horizon moved: waiters re-check
 	e.mu.Unlock()
 
-	// Crossed phase: one step at a time, each gated on the uncrossed
-	// low-water mark (or on exact K* once it is known).
+	e.runCrossedPhase(id)
+}
+
+// runCrossedPhase executes a crossed core's remaining serial-order steps —
+// one at a time, each gated on the uncrossed low-water mark (or on exact K*
+// once it is known) — then leaves the order entirely. It is the tail of
+// runCore and the whole life of a core that was already past target at
+// entry. Callers hold a token.
+func (e *parEngine) runCrossedPhase(id int) {
+	c := e.s.cores[id]
 	for {
 		k := orderKey(c.Clock(), id)
 		if !e.gateCrossed(id, k) {

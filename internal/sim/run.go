@@ -43,6 +43,13 @@ type AppResult struct {
 	// clustering is disabled.
 	Cluster     string
 	ClusterWays int
+
+	// Sampled carries the sampled-fidelity estimator's uncertainty (window
+	// count, confidence intervals, IPC coefficient of variation); zero on
+	// fully-detailed runs. Excluded from the result digest so that the
+	// pre-sampling golden-fingerprint corpus stays byte-identical — see
+	// SampleEstimate.
+	Sampled SampleEstimate `fingerprint:"-"`
 }
 
 // Result is one workload run. DRAMRowHitRate, DRAMBanks and the per-app
@@ -206,10 +213,12 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 		}
 	}
 
-	// Participants: cores still short of target at entry. Cores that cross
-	// the target mid-run stay in the frontier (they keep executing to
-	// preserve contention) until every participant has crossed. The frontier
-	// and done scratch live on the System so steady-state calls (one per
+	// Participants: every core joins the frontier. Cores already at or past
+	// the target — at entry (sampled-mode windows re-enter with fast cores
+	// ahead of the next boundary) or crossing mid-run — are recorded
+	// immediately but keep executing in clock order (to preserve contention)
+	// until every core short of the target has crossed. The frontier and
+	// done scratch live on the System so steady-state calls (one per
 	// measurement window, or per step of the allocation gate) allocate
 	// nothing.
 	h := &s.frontier
@@ -226,10 +235,10 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 		if c.Retired() >= target {
 			done[i] = true
 			record(i)
-			continue
+		} else {
+			remaining++
 		}
 		h.add(c.Clock(), i)
-		remaining++
 	}
 	h.build()
 
@@ -262,26 +271,20 @@ func (s *System) runUntilRetired(target uint64, freezeCycles, freezeInstr []uint
 // Applications that reach their measurement target keep executing until the
 // last one finishes, exactly as the paper re-executes finished applications
 // to preserve contention.
+//
+// When Config.Sample selects sampled fidelity, Run instead estimates the
+// same quantities from periodic detailed windows separated by functional-
+// warming gaps (see SampleConfig and runSampled); the budgets keep their
+// meaning — warmup instructions warmed, measure instructions covered — but
+// only the detailed windows are measured.
 func (s *System) Run(warmup, measure uint64) Result {
+	if s.cfg.Sample.Enabled() {
+		return s.runSampled(warmup, measure)
+	}
 	if warmup > 0 {
 		s.runUntilRetired(warmup, nil, nil)
 	}
-	// Drain deferred DRAM-phase ops, then reset statistics at the warm-up
-	// boundary; microarchitectural state (cache contents, policy learning,
-	// bank timelines and open rows, in-flight misses) carries over. The
-	// drain charges warm-up-initiated fire-and-forget drains to the warm-up
-	// window, exactly as the pre-shard substrate executed them inline.
-	s.sub.drainAll()
-	startCycles := make([]uint64, len(s.cores))
-	for i, c := range s.cores {
-		c.ResetStats()
-		startCycles[i] = c.Clock()
-		s.paths[i].l1.Stats().Reset()
-		s.paths[i].l2.Stats().Reset()
-	}
-	s.sub.llc.Stats().Reset()
-	s.sub.dram.ResetStats()
-	s.sub.arb.ResetStats()
+	startCycles := s.resetAtWarmBoundary()
 
 	freezeCycles := make([]uint64, len(s.cores))
 	freezeInstr := make([]uint64, len(s.cores))
@@ -316,4 +319,26 @@ func (s *System) Run(warmup, measure uint64) Result {
 	res.DRAMRowHitRate = s.sub.dram.Stats().RowHitRate()
 	res.DRAMBanks = s.sub.dram.BankStats()
 	return res
+}
+
+// resetAtWarmBoundary drains deferred DRAM-phase ops and resets statistics
+// at the warm-up boundary; microarchitectural state (cache contents, policy
+// learning, bank timelines and open rows, in-flight misses) carries over.
+// The drain charges warm-up-initiated fire-and-forget drains to the warm-up
+// window, exactly as the pre-shard substrate executed them inline. Returns
+// the per-core clock snapshots taken after the reset (the measured window's
+// cycle origin).
+func (s *System) resetAtWarmBoundary() []uint64 {
+	s.sub.drainAll()
+	startCycles := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		c.ResetStats()
+		startCycles[i] = c.Clock()
+		s.paths[i].l1.Stats().Reset()
+		s.paths[i].l2.Stats().Reset()
+	}
+	s.sub.llc.Stats().Reset()
+	s.sub.dram.ResetStats()
+	s.sub.arb.ResetStats()
+	return startCycles
 }

@@ -219,6 +219,36 @@ func (u *sharedSubstrate) writebackLLC(core int, block uint64, at uint64) (done 
 	return done, u.enqueue(opWriteThrough, block, done)
 }
 
+// fetchFunc is fetchLLC without time, for functional-warming gaps: the LLC
+// lookup (and so replacement metadata, SHCT/duel learning, bypass
+// decisions), the access hook and the cluster observation all happen in the
+// same order as the detailed phase-1 sequence, but there is no arbiter
+// grant, no DRAM phase and no ticket — an LLC miss fills (or bypasses)
+// instantly at nominal latency. Cluster waits are observed as zero: the
+// functional machine has no queueing. Callers hold the functional phase's
+// serial order (the round-robin in runFunctionalUntil).
+func (u *sharedSubstrate) fetchFunc(core int, block, pc uint64, write, demand bool) {
+	set := u.llc.SetOf(block)
+	if demand && u.cfg.LLCAccessHook != nil {
+		u.cfg.LLCAccessHook(core, set, block)
+	}
+	u.scratchLLC = cache.Access{Block: block, Core: core, PC: pc, Write: write, Demand: demand}
+	rl := u.llc.Access(&u.scratchLLC)
+	if u.cluster != nil && demand {
+		u.cluster.Observe(core, block, !rl.Hit, 0)
+	}
+	// Dirty LLC victims vanish: the functional machine tracks no DRAM row
+	// or bank state for the write to perturb.
+}
+
+// writebackFunc is writebackLLC without time: a resident LLC copy absorbs
+// the dirty L2 victim (keeping its dirty bit and recency state honest for
+// the next detailed window); a miss writes through to nothing.
+func (u *sharedSubstrate) writebackFunc(core int, block uint64) {
+	u.scratchWB = cache.Access{Block: block, Core: core, Write: true, Demand: false, Writeback: true}
+	u.llc.WritebackNoAllocate(&u.scratchWB)
+}
+
 // enqueue appends a DRAM op to its bank's queue. Callers hold the phase-1
 // order (one enqueue at a time, globally ordered); the shard mutex is still
 // required because another core may concurrently drain this bank.

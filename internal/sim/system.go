@@ -61,6 +61,12 @@ type corePath struct {
 	// goroutines start and restored after they join).
 	sub Substrate
 
+	// fsub is always the shared substrate itself, bypassing any parallel
+	// order gate: functional warming (see funcAccess) runs strictly on the
+	// serial goroutine between detailed phases, when no gate is installed
+	// and none is needed.
+	fsub *sharedSubstrate
+
 	scratchL1, scratchL2, scratchWB cache.Access
 }
 
@@ -133,6 +139,7 @@ func New(cfg Config, gens []trace.Generator) *System {
 			mshr: cache.NewTimedPool(cfg.L2MSHRs),
 			wb:   cache.NewTimedPool(cfg.L2WBEntries),
 			sub:  s.sub,
+			fsub: s.sub,
 		}
 		s.paths = append(s.paths, p)
 
@@ -246,6 +253,55 @@ func (p *corePath) access(now uint64, block uint64, write bool, pc uint64, deman
 	data := p.sub.Fetch(p.id, block, pc, write, demand, t3)
 	p.mshr.Occupy(missAt, data)
 	return data
+}
+
+// FunctionalAccess implements cpu.FunctionalMem: one memory reference
+// through the hierarchy in functional-warming mode. It mirrors access's
+// walk — and, crucially, its exact cache-mutation order: L1 lookup, dirty
+// victim, next-line prefetch, L2 lookup, dirty victim, LLC — with every
+// timing construct (latencies, MSHR/write-back reservations, the arbiter,
+// DRAM) elided. Cache contents, replacement metadata, policy learning state
+// and cluster classification all keep evolving; that is the whole point of
+// the warming gap.
+func (p *corePath) FunctionalAccess(addr uint64, write bool, pc uint64) {
+	p.funcAccess(addr, write, pc, true)
+}
+
+// funcAccess is access without time: same lookups, same order, no
+// reservations. Runs only on the serial goroutine (see corePath.fsub).
+func (p *corePath) funcAccess(block uint64, write bool, pc uint64, demand bool) {
+	p.scratchL1 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r1 := p.l1.Access(&p.scratchL1)
+	if r1.EvictedValid && r1.Evicted.Dirty {
+		p.funcWritebackToL2(r1.Evicted.Block)
+	}
+	if r1.Hit {
+		return
+	}
+
+	if demand && p.cfg.NextLinePrefetch {
+		p.funcAccess(block+1, false, pc, false)
+	}
+
+	p.scratchL2 = cache.Access{Block: block, Core: 0, PC: pc, Write: write, Demand: demand}
+	r2 := p.l2.Access(&p.scratchL2)
+	if r2.EvictedValid && r2.Evicted.Dirty {
+		p.fsub.writebackFunc(p.id, r2.Evicted.Block)
+	}
+	if r2.Hit {
+		return
+	}
+
+	p.fsub.fetchFunc(p.id, block, pc, write, demand)
+}
+
+// funcWritebackToL2 is writebackToL2 without time.
+func (p *corePath) funcWritebackToL2(block uint64) {
+	p.scratchWB = cache.Access{Block: block, Core: 0, Write: true, Demand: false, Writeback: true}
+	r := p.l2.Access(&p.scratchWB)
+	if r.EvictedValid && r.Evicted.Dirty {
+		p.fsub.writebackFunc(p.id, r.Evicted.Block)
+	}
 }
 
 // writebackToL2 handles a dirty L1 victim: state-only write into the L2

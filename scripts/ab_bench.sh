@@ -30,6 +30,13 @@
 #	               round does identical work          (default 5x)
 #	old-ref        git ref to build "old" from        (default HEAD)
 #
+# Every default can also come from the environment — AB_ROUNDS, AB_BENCH,
+# AB_PKG, AB_BENCHTIME — so CI job matrices and repeated local sessions can
+# pin a configuration once instead of repeating flags; an explicit flag
+# still wins over its environment variable:
+#
+#	AB_BENCH='SamplingFidelity$' AB_BENCHTIME=1x scripts/ab_bench.sh v1.2
+#
 # Output: one line per round with user-CPU seconds, wall ns/op, and the
 # user-CPU ratio, then the geomean and the faster-in-K/N tally. Ratios
 # above 1 mean the working tree is faster. When the bench regex matches
@@ -40,10 +47,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-ROUNDS=6
-BENCH='RunMix16$'
-PKG=./internal/sim
-BENCHTIME=5x
+ROUNDS="${AB_ROUNDS:-6}"
+BENCH="${AB_BENCH:-RunMix16\$}"
+PKG="${AB_PKG:-./internal/sim}"
+BENCHTIME="${AB_BENCHTIME:-5x}"
 while getopts "n:b:p:x:" opt; do
 	case "$opt" in
 	n) ROUNDS="$OPTARG" ;;
